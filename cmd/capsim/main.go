@@ -1,0 +1,126 @@
+// Command capsim evaluates one hybrid-network instance: it builds the
+// network for the given scaling parameters, classifies its mobility
+// regime, evaluates the selected communication scheme and prints the
+// sustainable per-node rate next to the theoretical order.
+//
+// Example:
+//
+//	capsim -n 4096 -alpha 0.3 -K 0.8 -phi 1 -scheme schemeB -placement grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"hybridcap/internal/capacity"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/routing"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 4096, "number of mobile stations")
+		alpha     = flag.Float64("alpha", 0.3, "network extension exponent: f(n) = n^alpha")
+		kExp      = flag.Float64("K", 0.6, "BS count exponent: k = n^K (negative = no BSs)")
+		phi       = flag.Float64("phi", 1, "backbone exponent: k*c(n) = n^phi")
+		mExp      = flag.Float64("M", 1, "cluster count exponent: m = n^M (1 = uniform)")
+		rExp      = flag.Float64("R", 0, "cluster radius exponent: r = n^-R")
+		scheme    = flag.String("scheme", "best", "schemeA | schemeB | schemeBcluster | schemeC | gridMultihop | twoHop | best")
+		placement = flag.String("placement", "matched", "matched | uniform | grid")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	p := scaling.Params{N: *n, Alpha: *alpha, K: *kExp, Phi: *phi, M: *mExp, R: *rExp}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	var bsPlacement network.BSPlacement
+	switch *placement {
+	case "matched":
+		bsPlacement = network.Matched
+	case "uniform":
+		bsPlacement = network.Uniform
+	case "grid":
+		bsPlacement = network.Grid
+	default:
+		return fmt.Errorf("unknown placement %q", *placement)
+	}
+
+	nw, err := network.New(network.Config{Params: p, Seed: *seed, BSPlacement: bsPlacement})
+	if err != nil {
+		return err
+	}
+	tr, err := traffic.NewPermutation(p.N, rng.New(*seed).Derive("traffic").Rand())
+	if err != nil {
+		return err
+	}
+
+	regime, ind := capacity.Classify(p)
+	fmt.Printf("params:    %v\n", p)
+	fmt.Printf("instance:  k=%d m=%d f=%.3g r=%.3g c=%.4g\n",
+		nw.NumBS(), p.NumClusters(), p.F(), p.ClusterRadius(), p.BandwidthC())
+	fmt.Printf("regime:    %v (f*sqrt(gamma)=%.3g, f*sqrt(gammaTilde)=%.3g)\n",
+		regime, ind.MobilityIndex, ind.SubnetIndex)
+	fmt.Printf("theory:    capacity %v, optimal RT %v, %v\n",
+		capacity.PerNodeCapacity(p), capacity.OptimalRT(p), capacity.Dominance(p))
+	fmt.Println()
+	fmt.Print(capacity.FormatTableI(capacity.TableI(p)))
+	fmt.Println()
+
+	schemes, err := selectSchemes(*scheme, p)
+	if err != nil {
+		return err
+	}
+	best := 0.0
+	for _, s := range schemes {
+		ev, err := s.Evaluate(nw, tr)
+		if err != nil {
+			fmt.Printf("%-14s error: %v\n", s.Name(), err)
+			continue
+		}
+		fmt.Printf("%-14s lambda=%.6g bottleneck=%s failures=%d\n",
+			s.Name(), ev.Lambda, ev.Bottleneck, ev.Failures)
+		if ev.Lambda > best {
+			best = ev.Lambda
+		}
+	}
+	fmt.Printf("best measured lambda: %.6g (theory order evaluates to %.6g at n=%d)\n",
+		best, capacity.PerNodeCapacity(p).Eval(float64(p.N)), p.N)
+	return nil
+}
+
+func selectSchemes(name string, p scaling.Params) ([]routing.Scheme, error) {
+	gamma := p.Gamma()
+	all := map[string]routing.Scheme{
+		"schemeA":        routing.SchemeA{},
+		"schemeB":        routing.SchemeB{},
+		"schemeBcluster": routing.SchemeB{GroupBy: routing.ByCluster},
+		"schemeC":        routing.SchemeC{Delta: -1},
+		"gridMultihop":   routing.GridMultihop{Side: math.Sqrt(gamma), Delta: -1},
+		"twoHop":         routing.TwoHopRelay{},
+	}
+	if s, ok := all[name]; ok {
+		return []routing.Scheme{s}, nil
+	}
+	if name == "best" {
+		list := []routing.Scheme{all["schemeA"], all["twoHop"]}
+		if p.HasInfrastructure() {
+			list = append(list, all["schemeB"], all["schemeC"])
+		}
+		return list, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", name)
+}

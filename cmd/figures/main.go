@@ -1,0 +1,62 @@
+// Command figures regenerates the paper's figures (and the supporting
+// experiments E1-E13) as CSV data plus ASCII renderings.
+//
+// Example:
+//
+//	figures -run F1,F3L,F3R -out out
+//	figures -run all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridcap/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ids   = flag.String("run", "F1,F2,F3L,F3R", "comma-separated experiment ids, or 'all'")
+		out   = flag.String("out", "out", "output directory for CSV/TXT artifacts")
+		quick = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		seeds = flag.Int("seeds", 0, "seeds per data point (0 = default)")
+	)
+	flag.Parse()
+	opts := experiments.Options{Quick: *quick, Seeds: *seeds}
+
+	var selected []string
+	if *ids == "all" {
+		for _, e := range experiments.All() {
+			selected = append(selected, e.ID)
+		}
+	} else {
+		selected = strings.Split(*ids, ",")
+	}
+	for _, id := range selected {
+		id = strings.TrimSpace(id)
+		runner, err := experiments.Lookup(id)
+		if err != nil {
+			return err
+		}
+		res, err := runner(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Print(res.Text())
+		fmt.Println()
+		if err := res.WriteFiles(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s/%s.{txt,csv}\n\n", *out, id)
+	}
+	return nil
+}

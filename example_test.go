@@ -1,0 +1,86 @@
+package hybridcap_test
+
+import (
+	"fmt"
+
+	"hybridcap"
+)
+
+// ExampleClassify shows regime classification across the parameter
+// space of Section V.
+func ExampleClassify() {
+	strong := hybridcap.Params{N: 4096, Alpha: 0.25, K: 0.6, Phi: 1, M: 1}
+	weak := hybridcap.Params{N: 4096, Alpha: 0.45, K: 0.7, Phi: 1, M: 0.4, R: 0.25}
+	trivial := hybridcap.Params{N: 4096, Alpha: 0.7, K: 0.6, Phi: 1, M: 0.2, R: 0.11}
+	fmt.Println(hybridcap.Classify(strong))
+	fmt.Println(hybridcap.Classify(weak))
+	fmt.Println(hybridcap.Classify(trivial))
+	// Output:
+	// strong
+	// weak
+	// trivial
+}
+
+// ExamplePerNodeCapacity evaluates Table I symbolically.
+func ExamplePerNodeCapacity() {
+	// Strong mobility, infrastructure-dominant: capacity k/n = n^-0.2.
+	p := hybridcap.Params{N: 4096, Alpha: 0.3, K: 0.8, Phi: 1, M: 1}
+	fmt.Println(hybridcap.PerNodeCapacity(p))
+	// BS-free version of the same network: capacity 1/f = n^-0.3.
+	p.K = -1
+	fmt.Println(hybridcap.PerNodeCapacity(p))
+	// Output:
+	// Theta(n^-0.2)
+	// Theta(n^-0.3)
+}
+
+// ExampleDominance reproduces the Remark-10 crossover at K = 1 - alpha.
+func ExampleDominance() {
+	for _, k := range []float64{0.5, 0.7, 0.9} {
+		p := hybridcap.Params{N: 4096, Alpha: 0.3, K: k, Phi: 1, M: 1}
+		fmt.Printf("K=%.1f: %v\n", k, hybridcap.Dominance(p))
+	}
+	// Output:
+	// K=0.5: mobility-dominant
+	// K=0.7: balanced
+	// K=0.9: infrastructure-dominant
+}
+
+// ExampleOptimalRT prints the Table-I optimal transmission ranges.
+func ExampleOptimalRT() {
+	strong := hybridcap.Params{N: 4096, Alpha: 0.25, K: 0.6, Phi: 1, M: 1}
+	weak := hybridcap.Params{N: 4096, Alpha: 0.45, K: 0.7, Phi: 1, M: 0.4, R: 0.25}
+	fmt.Println(hybridcap.OptimalRT(strong))
+	fmt.Println(hybridcap.OptimalRT(weak))
+	// Output:
+	// Theta(n^-0.5)
+	// Theta(n^-0.55)
+}
+
+// ExampleSchemeB evaluates the infrastructure scheme on a concrete
+// instance.
+func ExampleSchemeB() {
+	p := hybridcap.Params{N: 1024, Alpha: 0.25, K: 0.7, Phi: 1, M: 1}
+	nw, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{
+		Params:      p,
+		Seed:        1,
+		BSPlacement: hybridcap.Grid,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr, err := hybridcap.NewPermutationTraffic(p.N, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ev, err := hybridcap.SchemeB{}.Evaluate(nw, tr)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("rate positive: %v, bottleneck: %s\n", ev.Lambda > 0, ev.Bottleneck)
+	// Output:
+	// rate positive: true, bottleneck: access
+}

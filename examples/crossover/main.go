@@ -1,0 +1,58 @@
+// Crossover: how many base stations does it take before infrastructure
+// beats mobility? The paper (Remark 10, Figure 3) shows the network is
+// mobility-dominant while 1/f(n) > min(k^2 c/n, k/n) and
+// infrastructure-dominant beyond; with ample backbone the boundary is
+// K = 1 - alpha. This example sweeps K at fixed alpha and prints the
+// measured rates of scheme A (mobility) and scheme B (infrastructure)
+// side by side, so the crossover is visible in data, not just in
+// exponents.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridcap"
+)
+
+func main() {
+	const (
+		n     = 8192
+		alpha = 0.3
+	)
+	fmt.Printf("n=%d, alpha=%.2f: theory crossover at K = 1 - alpha = %.2f\n\n", n, alpha, 1-alpha)
+	fmt.Printf("%-6s %-7s %-12s %-12s %-10s %s\n", "K", "k", "schemeA", "schemeB", "winner", "theory dominance")
+
+	for _, kexp := range []float64{0.3, 0.45, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		p := hybridcap.Params{N: n, Alpha: alpha, K: kexp, Phi: 1, M: 1}
+		if err := p.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		nw, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{
+			Params:      p,
+			Seed:        9,
+			BSPlacement: hybridcap.Grid,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := hybridcap.NewPermutationTraffic(n, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evA, err := (hybridcap.SchemeA{}).Evaluate(nw, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evB, err := (hybridcap.SchemeB{}).Evaluate(nw, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "mobility"
+		if evB.Lambda > evA.Lambda {
+			winner = "infra"
+		}
+		fmt.Printf("%-6.2f %-7d %-12.6f %-12.6f %-10s %v\n",
+			kexp, p.NumBS(), evA.Lambda, evB.Lambda, winner, hybridcap.Dominance(p))
+	}
+}

@@ -1,0 +1,69 @@
+// Placement: Theorem 6 in action. In a uniformly dense network the
+// per-node capacity of the infrastructure scheme does not depend (in
+// order) on whether base stations are deployed by the matched clustered
+// model, uniformly at random, or on a deterministic regular grid. This
+// matters operationally: the cheapest deployment is as good as the
+// demand-matched one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridcap"
+)
+
+func main() {
+	p := hybridcap.Params{N: 8192, Alpha: 0.25, K: 0.7, Phi: 1, M: 1}
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %v -> k=%d BSs, theory capacity %v\n\n",
+		p, p.NumBS(), hybridcap.PerNodeCapacity(p))
+
+	placements := []struct {
+		name string
+		kind hybridcap.BSPlacement
+	}{
+		{"matched (Section II default)", hybridcap.Matched},
+		{"uniform random", hybridcap.Uniform},
+		{"regular grid", hybridcap.Grid},
+	}
+	const seeds = 3
+	var rates []float64
+	for _, pl := range placements {
+		sum := 0.0
+		for seed := uint64(0); seed < seeds; seed++ {
+			nw, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{
+				Params:      p,
+				Seed:        seed + 1,
+				BSPlacement: pl.kind,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr, err := hybridcap.NewPermutationTraffic(p.N, seed+1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ev, err := (hybridcap.SchemeB{}).Evaluate(nw, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += ev.Lambda
+		}
+		mean := sum / seeds
+		rates = append(rates, mean)
+		fmt.Printf("%-30s lambda = %.6f\n", pl.name, mean)
+	}
+	worst, best := rates[0], rates[0]
+	for _, r := range rates[1:] {
+		if r < worst {
+			worst = r
+		}
+		if r > best {
+			best = r
+		}
+	}
+	fmt.Printf("\nmax/min across placements: %.2f (Theorem 6: a constant)\n", best/worst)
+}

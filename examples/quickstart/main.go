@@ -1,0 +1,61 @@
+// Quickstart: build a hybrid mobile network, classify its mobility
+// regime, evaluate the paper's communication schemes, and compare the
+// measured per-node rate with the theoretical order of Table I.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridcap"
+)
+
+func main() {
+	// A moderately extended network (f = n^0.3) with a strong
+	// infrastructure (k = n^0.8 base stations, constant aggregate
+	// backbone bandwidth per BS pair group: phi = 1).
+	p := hybridcap.Params{N: 4096, Alpha: 0.3, K: 0.8, Phi: 1, M: 1}
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== parameter point ==")
+	fmt.Printf("%v\n", p)
+	fmt.Printf("regime:    %v\n", hybridcap.Classify(p))
+	fmt.Printf("dominance: %v\n", hybridcap.Dominance(p))
+	fmt.Printf("theory:    capacity %v, optimal RT %v\n\n",
+		hybridcap.PerNodeCapacity(p), hybridcap.OptimalRT(p))
+
+	nw, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{
+		Params:      p,
+		Seed:        42,
+		BSPlacement: hybridcap.Grid,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := hybridcap.NewPermutationTraffic(p.N, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== scheme evaluation ==")
+	schemes := []hybridcap.Scheme{
+		hybridcap.SchemeA{}, // mobility transport: Theta(1/f)
+		hybridcap.SchemeB{}, // infrastructure transport: Theta(min(k^2 c/n, k/n))
+	}
+	best := 0.0
+	for _, s := range schemes {
+		ev, err := s.Evaluate(nw, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s lambda = %.6f  (bottleneck: %s)\n", s.Name(), ev.Lambda, ev.Bottleneck)
+		if ev.Lambda > best {
+			best = ev.Lambda
+		}
+	}
+	fmt.Printf("\nbest measured per-node rate: %.6f packets/slot\n", best)
+	fmt.Printf("theory %v evaluates to %.6f at n=%d\n",
+		hybridcap.PerNodeCapacity(p), hybridcap.PerNodeCapacity(p).Eval(float64(p.N)), p.N)
+}

@@ -1,0 +1,3 @@
+module hybridcap
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package hybridcap is a library for studying the throughput capacity
+// of mobile wireless ad hoc networks with infrastructure support. It
+// reproduces "Capacity Scaling in Mobile Wireless Ad Hoc Network with
+// Infrastructure Support" (Huang, Wang, Zhang; ICDCS 2010): n mobile
+// users moving around home-points on a torus whose side scales as
+// f(n) = n^alpha, with clustered home-points and k = n^K base stations
+// wired at bandwidth c(n).
+//
+// The package exposes, through aliases onto the internal
+// implementation:
+//
+//   - the parameter space and its asymptotic-order algebra (Params,
+//     Order),
+//   - concrete network instances with kernel mobility and BS placement
+//     (Network, NetworkConfig),
+//   - the paper's communication schemes and baselines (SchemeA,
+//     SchemeB, SchemeC, GridMultihop, TwoHopRelay),
+//   - the theory: regime classification, Table-I capacities, optimal
+//     transmission ranges (Classify, PerNodeCapacity, OptimalRT),
+//   - the experiment harness regenerating every table and figure
+//     (RunExperiment, Experiments).
+//
+// Quick start:
+//
+//	p := hybridcap.Params{N: 4096, Alpha: 0.3, K: 0.8, Phi: 1, M: 1}
+//	nw, _ := hybridcap.NewNetwork(hybridcap.NetworkConfig{Params: p, Seed: 1})
+//	tr, _ := hybridcap.NewPermutationTraffic(p.N, 1)
+//	ev, _ := hybridcap.SchemeB{}.Evaluate(nw, tr)
+//	fmt.Println(ev.Lambda, hybridcap.PerNodeCapacity(p))
+package hybridcap
+
+import (
+	"hybridcap/internal/capacity"
+	"hybridcap/internal/experiments"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/routing"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/traffic"
+)
+
+// Params is one point of the paper's parameter space: the network size
+// n plus the scaling exponents (alpha, K, phi, M, R) of Section II.
+type Params = scaling.Params
+
+// Order is an asymptotic order Theta(n^E * log^L n).
+type Order = scaling.Order
+
+// Network is a concrete instance: home-points, mobility processes and
+// base stations on the unit torus.
+type Network = network.Network
+
+// NetworkConfig fully determines a network instance given a seed.
+type NetworkConfig = network.Config
+
+// BSPlacement selects how base stations are deployed.
+type BSPlacement = network.BSPlacement
+
+// MobilityKind selects the mobility process implementation.
+type MobilityKind = network.MobilityKind
+
+// BS placement schemes (Theorem 6 proves them capacity-equivalent in
+// uniformly dense networks).
+const (
+	Matched = network.Matched
+	Uniform = network.Uniform
+	Grid    = network.Grid
+)
+
+// Mobility process kinds sharing the paper's stationary distribution.
+const (
+	IID    = network.IID
+	Walk   = network.Walk
+	Static = network.Static
+)
+
+// Traffic is the uniform permutation traffic pattern of Section II.B.
+type Traffic = traffic.Pattern
+
+// Scheme is a communication scheme evaluated against a network and a
+// traffic pattern.
+type Scheme = routing.Scheme
+
+// Evaluation reports a scheme's sustainable per-node rate and its
+// binding bottleneck.
+type Evaluation = routing.Evaluation
+
+// The paper's communication schemes and the baselines it builds on.
+type (
+	// SchemeA is the mobility-based squarelet transport of
+	// Definition 11, achieving Theta(1/f(n)).
+	SchemeA = routing.SchemeA
+	// SchemeB is the three-phase infrastructure transport of
+	// Definition 12, achieving Theta(min(k^2 c/n, k/n)).
+	SchemeB = routing.SchemeB
+	// SchemeC is the cellular TDMA scheme of Definition 13 for the
+	// trivial-mobility regime.
+	SchemeC = routing.SchemeC
+	// GridMultihop is static multi-hop over a connectivity-critical
+	// tessellation (Gupta-Kumar baseline; Corollary 3 transport).
+	GridMultihop = routing.GridMultihop
+	// TwoHopRelay is the Grossglauser-Tse baseline.
+	TwoHopRelay = routing.TwoHopRelay
+)
+
+// GroupBy selects how scheme B groups MSs with serving BSs.
+type GroupBy = routing.GroupBy
+
+// Scheme B grouping modes: squarelets (Definition 12, strong mobility)
+// or clusters (Theorem 7, weak mobility).
+const (
+	BySquarelet = routing.BySquarelet
+	ByCluster   = routing.ByCluster
+)
+
+// Regime is the mobility regime of a parameter point.
+type Regime = capacity.Regime
+
+// Mobility regimes (Theorem 1 and Section V).
+const (
+	StrongMobility   = capacity.StrongMobility
+	WeakMobility     = capacity.WeakMobility
+	TrivialMobility  = capacity.TrivialMobility
+	BoundaryMobility = capacity.BoundaryMobility
+)
+
+// DominantState says whether mobility or infrastructure sets capacity.
+type DominantState = capacity.DominantState
+
+// Dominance states (Remark 10).
+const (
+	MobilityDominant       = capacity.MobilityDominant
+	InfrastructureDominant = capacity.InfrastructureDominant
+	BalancedDominance      = capacity.BalancedDominance
+)
+
+// NewNetwork builds a deterministic network instance.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	return network.New(cfg)
+}
+
+// NewPermutationTraffic draws the permutation traffic pattern over n
+// nodes for a seed.
+func NewPermutationTraffic(n int, seed uint64) (*Traffic, error) {
+	return traffic.NewPermutation(n, rng.New(seed).Derive("traffic").Rand())
+}
+
+// Classify determines the mobility regime of a parameter point.
+func Classify(p Params) Regime {
+	r, _ := capacity.Classify(p)
+	return r
+}
+
+// PerNodeCapacity returns the asymptotic per-node capacity (Table I).
+func PerNodeCapacity(p Params) Order {
+	return capacity.PerNodeCapacity(p)
+}
+
+// OptimalRT returns the order of the regime's optimal transmission
+// range (Table I).
+func OptimalRT(p Params) Order {
+	return capacity.OptimalRT(p)
+}
+
+// Dominance classifies the network state per Remark 10.
+func Dominance(p Params) DominantState {
+	return capacity.Dominance(p)
+}
+
+// TableRow is one symbolic row of the paper's Table I.
+type TableRow = capacity.TableRow
+
+// TableI evaluates the applicable Table-I rows at a parameter point
+// (its regime, with and without its infrastructure).
+func TableI(p Params) []TableRow {
+	return capacity.TableI(p)
+}
+
+// FormatTableI renders TableI rows as an aligned text table.
+func FormatTableI(rows []TableRow) string {
+	return capacity.FormatTableI(rows)
+}
+
+// ExperimentResult is the outcome of one table/figure regeneration.
+type ExperimentResult = experiments.Result
+
+// ExperimentOptions tunes experiment cost.
+type ExperimentOptions = experiments.Options
+
+// RunExperiment runs a registered experiment ("T1", "F1".."F3R",
+// "E1".."E13") and returns its result.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
+	runner, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return runner(opts)
+}
+
+// ExperimentIDs lists the registered experiments in presentation order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,56 @@
+package hybridcap_test
+
+import (
+	"testing"
+
+	"hybridcap"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	p := hybridcap.Params{N: 512, Alpha: 0.3, K: 0.8, Phi: 1, M: 1}
+	if hybridcap.Classify(p) != hybridcap.StrongMobility {
+		t.Fatalf("regime = %v", hybridcap.Classify(p))
+	}
+	nw, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{Params: p, Seed: 1, BSPlacement: hybridcap.Grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hybridcap.NewPermutationTraffic(p.N, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := hybridcap.SchemeB{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Lambda <= 0 {
+		t.Fatalf("lambda = %v", ev.Lambda)
+	}
+	theory := hybridcap.PerNodeCapacity(p)
+	if theory.E >= 0 {
+		t.Fatalf("capacity exponent %v should be negative", theory.E)
+	}
+	if hybridcap.Dominance(p) != hybridcap.InfrastructureDominant {
+		t.Errorf("dominance = %v", hybridcap.Dominance(p))
+	}
+	if hybridcap.OptimalRT(p).E != -0.5 {
+		t.Errorf("optimal RT = %v", hybridcap.OptimalRT(p))
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := hybridcap.ExperimentIDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	res, err := hybridcap.RunExperiment("F3L", hybridcap.ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "F3L" || len(res.Rows) == 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if _, err := hybridcap.RunExperiment("bogus", hybridcap.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

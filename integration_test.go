@@ -1,0 +1,138 @@
+package hybridcap_test
+
+import (
+	"math"
+	"testing"
+
+	"hybridcap"
+)
+
+// integrationCase ties the whole stack together: parameter point,
+// prescribed scheme, expected regime.
+type integrationCase struct {
+	name   string
+	params hybridcap.Params
+	scheme hybridcap.Scheme
+	regime hybridcap.Regime
+}
+
+func integrationCases(n int) []integrationCase {
+	return []integrationCase{
+		{
+			name:   "strong-noBS",
+			params: hybridcap.Params{N: n, Alpha: 0.3, K: -1, M: 1},
+			scheme: hybridcap.SchemeA{},
+			regime: hybridcap.StrongMobility,
+		},
+		{
+			name:   "strong-BS",
+			params: hybridcap.Params{N: n, Alpha: 0.3, K: 0.8, Phi: 1, M: 1},
+			scheme: hybridcap.SchemeB{},
+			regime: hybridcap.StrongMobility,
+		},
+		{
+			name:   "weak-BS",
+			params: hybridcap.Params{N: n, Alpha: 0.45, K: 0.7, Phi: 1, M: 0.4, R: 0.25},
+			scheme: hybridcap.SchemeB{GroupBy: hybridcap.ByCluster},
+			regime: hybridcap.WeakMobility,
+		},
+		{
+			name:   "trivial-BS",
+			params: hybridcap.Params{N: n, Alpha: 0.7, K: 0.6, Phi: 1, M: 0.2, R: 0.11},
+			scheme: hybridcap.SchemeC{Delta: -1},
+			regime: hybridcap.TrivialMobility,
+		},
+	}
+}
+
+// End-to-end: every Table-I row evaluated through the public API yields
+// a positive rate within a bounded constant of its theoretical order,
+// with the right regime classification.
+func TestEndToEndTableIRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end evaluation")
+	}
+	const n = 2048
+	for _, c := range integrationCases(n) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.params.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := hybridcap.Classify(c.params); got != c.regime {
+				t.Fatalf("regime = %v, want %v", got, c.regime)
+			}
+			placement := hybridcap.Grid
+			if c.params.M < 1 {
+				placement = hybridcap.Matched // BSs must sit in clusters
+			}
+			nw, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{
+				Params:      c.params,
+				Seed:        99,
+				BSPlacement: placement,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := hybridcap.NewPermutationTraffic(n, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := c.scheme.Evaluate(nw, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Failures > 0 {
+				t.Fatalf("%d unroutable pairs", ev.Failures)
+			}
+			theory := hybridcap.PerNodeCapacity(c.params).Eval(float64(n))
+			ratio := ev.Lambda / theory
+			// Constants are unknown but must be bounded: allow two orders
+			// of magnitude either way.
+			if ratio < 1e-3 || ratio > 1e2 {
+				t.Errorf("lambda %v vs theory %v: ratio %v out of band", ev.Lambda, theory, ratio)
+			}
+			if math.IsNaN(ev.Lambda) || math.IsInf(ev.Lambda, 0) {
+				t.Errorf("lambda = %v", ev.Lambda)
+			}
+		})
+	}
+}
+
+// The strong-regime capacity with ample infrastructure must dominate
+// the BS-free capacity of the same population (Theorem 5's sum).
+func TestEndToEndInfrastructureHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end evaluation")
+	}
+	const n = 2048
+	noBS := hybridcap.Params{N: n, Alpha: 0.3, K: -1, M: 1}
+	withBS := hybridcap.Params{N: n, Alpha: 0.3, K: 0.9, Phi: 1, M: 1}
+
+	nwFree, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{Params: noBS, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hybridcap.NewPermutationTraffic(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evA, err := (hybridcap.SchemeA{}).Evaluate(nwFree, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwBS, err := hybridcap.NewNetwork(hybridcap.NetworkConfig{
+		Params: withBS, Seed: 5, BSPlacement: hybridcap.Grid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := (hybridcap.SchemeB{}).Evaluate(nwBS, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evB.Lambda <= evA.Lambda {
+		t.Errorf("k=n^0.9 infrastructure (%v) should beat pure mobility (%v) at alpha=0.3",
+			evB.Lambda, evA.Lambda)
+	}
+}

@@ -1,0 +1,163 @@
+// Package asciiplot renders data series and scalar fields as plain-text
+// charts for terminal output. The repro environment has no plotting
+// stack; every figure is emitted both as CSV (for external tooling) and
+// as an ASCII rendering from this package.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LineChart renders one or more (x, y) series on log-log or linear
+// axes as a dot matrix with per-series glyphs.
+type LineChart struct {
+	Width, Height int
+	LogX, LogY    bool
+	Title         string
+}
+
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series. Each series is a pair of equal-length
+// coordinate slices; non-positive values are skipped on log axes.
+func (c LineChart) Render(names []string, xs, ys [][]float64) (string, error) {
+	if len(xs) == 0 || len(xs) != len(ys) || len(names) != len(xs) {
+		return "", fmt.Errorf("asciiplot: need matching names/xs/ys, got %d/%d/%d", len(names), len(xs), len(ys))
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	tx := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		if c.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		if c.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for s := range xs {
+		if len(xs[s]) != len(ys[s]) {
+			return "", fmt.Errorf("asciiplot: series %d length mismatch", s)
+		}
+		for i := range xs[s] {
+			x, okx := tx(xs[s][i])
+			y, oky := ty(ys[s][i])
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX {
+		return "", fmt.Errorf("asciiplot: no plottable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	cells := make([][]byte, h)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", w))
+	}
+	for s := range xs {
+		glyph := seriesGlyphs[s%len(seriesGlyphs)]
+		for i := range xs[s] {
+			x, okx := tx(xs[s][i])
+			y, oky := ty(ys[s][i])
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			cells[row][col] = glyph
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	axis := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&b, "%10.3g +%s\n", axis(maxY, c.LogY), strings.Repeat("-", w))
+	for r := 0; r < h; r++ {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(cells[r]))
+	}
+	fmt.Fprintf(&b, "%10.3g +%s\n", axis(minY, c.LogY), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-10.3g%*s%10.3g\n", "", axis(minX, c.LogX), w-20, "", axis(maxX, c.LogX))
+	for s, name := range names {
+		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[s%len(seriesGlyphs)], name)
+	}
+	return b.String(), nil
+}
+
+// Heatmap renders a row-major scalar field as shaded characters,
+// darkest for the largest values.
+func Heatmap(title string, field []float64, cols, rows int) (string, error) {
+	if cols <= 0 || rows <= 0 || len(field) != cols*rows {
+		return "", fmt.Errorf("asciiplot: field of %d values does not match %dx%d", len(field), cols, rows)
+	}
+	shades := []byte(" .:-=+*#%@")
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range field {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s  [min %.4g, max %.4g]\n", title, min, max)
+	}
+	// Render top row last so the y axis increases upward.
+	for r := rows - 1; r >= 0; r-- {
+		b.WriteByte('|')
+		for c := 0; c < cols; c++ {
+			v := field[r*cols+c]
+			idx := int((v - min) / span * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+			b.WriteByte(shades[idx]) // double width for aspect ratio
+		}
+		b.WriteString("|\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,101 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	c := LineChart{Width: 40, Height: 10, Title: "test"}
+	out, err := c.Render(
+		[]string{"a", "b"},
+		[][]float64{{1, 2, 3}, {1, 2, 3}},
+		[][]float64{{1, 2, 3}, {3, 2, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series glyphs")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing legend")
+	}
+}
+
+func TestLineChartLogAxes(t *testing.T) {
+	c := LineChart{LogX: true, LogY: true}
+	out, err := c.Render(
+		[]string{"s"},
+		[][]float64{{10, 100, 1000, -5}}, // negative skipped on log axis
+		[][]float64{{1, 0.1, 0.01, 7}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	c := LineChart{}
+	if _, err := c.Render(nil, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := c.Render([]string{"a"}, [][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := c.Render([]string{"a"}, [][]float64{{-1}}, [][]float64{{1}}); err == nil {
+		c2 := LineChart{LogX: true}
+		if _, err := c2.Render([]string{"a"}, [][]float64{{-1}}, [][]float64{{1}}); err == nil {
+			t.Error("no plottable points accepted")
+		}
+	}
+}
+
+func TestLineChartSinglePoint(t *testing.T) {
+	c := LineChart{}
+	out, err := c.Render([]string{"p"}, [][]float64{{5}}, [][]float64{{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("point not rendered")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	field := []float64{0, 1, 2, 3, 4, 5}
+	out, err := Heatmap("field", field, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title + 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Largest value (5, last in row-major = top-right when flipped)
+	// should render as the darkest shade '@'.
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("top row %q missing darkest shade", lines[1])
+	}
+}
+
+func TestHeatmapUniformField(t *testing.T) {
+	if _, err := Heatmap("flat", []float64{1, 1, 1, 1}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	if _, err := Heatmap("bad", []float64{1, 2}, 3, 2); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Heatmap("bad", nil, 0, 0); err == nil {
+		t.Error("empty accepted")
+	}
+}

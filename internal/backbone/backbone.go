@@ -1,0 +1,154 @@
+// Package backbone models the wired infrastructure of Section II.B: all
+// k base stations are connected pairwise with bandwidth c(n) and wired
+// transmissions cause no wireless interference. The package tracks
+// per-edge load induced by a routing scheme (phase II of scheme B) and
+// reports the largest sustainable rate before some edge overloads —
+// the feasibility condition used in the proofs of Theorems 5 and 7.
+package backbone
+
+import (
+	"fmt"
+	"math"
+)
+
+// Backbone is a complete wired graph over k BSs with uniform edge
+// capacity C, accumulating symmetric per-edge loads.
+type Backbone struct {
+	k    int
+	c    float64
+	load []float64 // upper-triangular packed: edge (i,j), i<j
+}
+
+// New builds a backbone over k BSs with per-edge capacity c.
+func New(k int, c float64) (*Backbone, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("backbone: negative k %d", k)
+	}
+	if c <= 0 || math.IsNaN(c) {
+		return nil, fmt.Errorf("backbone: edge capacity must be positive, got %g", c)
+	}
+	return &Backbone{k: k, c: c, load: make([]float64, k*(k-1)/2)}, nil
+}
+
+// K returns the number of base stations.
+func (b *Backbone) K() int { return b.k }
+
+// EdgeCapacity returns c(n).
+func (b *Backbone) EdgeCapacity() float64 { return b.c }
+
+func (b *Backbone) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Packed index of (i, j), i < j, in row-major upper triangle.
+	return i*(2*b.k-i-1)/2 + (j - i - 1)
+}
+
+// AddLoad adds rate to the undirected edge (i, j).
+func (b *Backbone) AddLoad(i, j int, rate float64) error {
+	if i == j {
+		return fmt.Errorf("backbone: self edge %d", i)
+	}
+	if i < 0 || j < 0 || i >= b.k || j >= b.k {
+		return fmt.Errorf("backbone: edge (%d,%d) out of range k=%d", i, j, b.k)
+	}
+	if rate < 0 {
+		return fmt.Errorf("backbone: negative rate %g", rate)
+	}
+	b.load[b.idx(i, j)] += rate
+	return nil
+}
+
+// AddGroupFlow spreads a total rate uniformly over all edges between two
+// disjoint BS groups, the way scheme B's phase II shares squarelet
+// traffic across BS pairs. Overlapping members are skipped (no self
+// edges); if the groups share all members, an error is returned.
+func (b *Backbone) AddGroupFlow(groupA, groupB []int, rate float64) error {
+	if rate < 0 {
+		return fmt.Errorf("backbone: negative rate %g", rate)
+	}
+	pairs := 0
+	for _, i := range groupA {
+		for _, j := range groupB {
+			if i != j {
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("backbone: no usable edges between groups (sizes %d, %d)", len(groupA), len(groupB))
+	}
+	per := rate / float64(pairs)
+	for _, i := range groupA {
+		for _, j := range groupB {
+			if i != j {
+				if err := b.AddLoad(i, j, per); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxLoad returns the largest per-edge load.
+func (b *Backbone) MaxLoad() float64 {
+	max := 0.0
+	for _, l := range b.load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Utilization returns MaxLoad()/c: above 1 means some edge is
+// overloaded.
+func (b *Backbone) Utilization() float64 { return b.MaxLoad() / b.c }
+
+// SustainableScale returns the largest factor by which all accumulated
+// loads can be scaled while keeping every edge within capacity. If the
+// loads were accumulated at unit per-node rate, this is exactly the
+// per-node rate the backbone can sustain (infinite when no load).
+func (b *Backbone) SustainableScale() float64 {
+	m := b.MaxLoad()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return b.c / m
+}
+
+// Reset clears accumulated loads.
+func (b *Backbone) Reset() {
+	for i := range b.load {
+		b.load[i] = 0
+	}
+}
+
+// TotalLoad returns the sum of all edge loads (useful as a conservation
+// check in tests).
+func (b *Backbone) TotalLoad() float64 {
+	sum := 0.0
+	for _, l := range b.load {
+		sum += l
+	}
+	return sum
+}
+
+// CutCapacity returns the total wired capacity crossing a node
+// partition: c * |inside| * |outside| for the complete graph, the
+// quantity that upper-bounds lambda in Lemma 7 (mu_B ~ k^2 c for a
+// balanced cut).
+func (b *Backbone) CutCapacity(inside []bool) (float64, error) {
+	if len(inside) != b.k {
+		return 0, fmt.Errorf("backbone: partition size %d, want %d", len(inside), b.k)
+	}
+	in := 0
+	for _, v := range inside {
+		if v {
+			in++
+		}
+	}
+	out := b.k - in
+	return b.c * float64(in) * float64(out), nil
+}

@@ -1,0 +1,154 @@
+package backbone
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(-1, 1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(4, math.NaN()); err == nil {
+		t.Error("NaN capacity accepted")
+	}
+}
+
+func TestAddLoadAndMax(t *testing.T) {
+	b, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLoad(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLoad(1, 0, 0.25); err != nil { // symmetric edge
+		t.Fatal(err)
+	}
+	if err := b.AddLoad(2, 3, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.MaxLoad(); got != 1.5 {
+		t.Errorf("MaxLoad = %v", got)
+	}
+	if got := b.Utilization(); got != 0.75 {
+		t.Errorf("Utilization = %v", got)
+	}
+	if got := b.TotalLoad(); got != 2.25 {
+		t.Errorf("TotalLoad = %v", got)
+	}
+}
+
+func TestAddLoadErrors(t *testing.T) {
+	b, _ := New(3, 1)
+	if err := b.AddLoad(0, 0, 1); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := b.AddLoad(0, 5, 1); err == nil {
+		t.Error("out of range accepted")
+	}
+	if err := b.AddLoad(0, 1, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestEdgePackingDistinct(t *testing.T) {
+	// Every unordered pair must map to a distinct slot: load one edge,
+	// verify only that edge is loaded.
+	k := 7
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b, _ := New(k, 1)
+			if err := b.AddLoad(i, j, 1); err != nil {
+				t.Fatal(err)
+			}
+			if b.TotalLoad() != 1 || b.MaxLoad() != 1 {
+				t.Fatalf("edge (%d,%d): total %v max %v", i, j, b.TotalLoad(), b.MaxLoad())
+			}
+		}
+	}
+}
+
+func TestAddGroupFlowConserved(t *testing.T) {
+	b, _ := New(10, 1)
+	a := []int{0, 1, 2}
+	g := []int{5, 6}
+	if err := b.AddGroupFlow(a, g, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TotalLoad(); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("TotalLoad = %v, want 3", got)
+	}
+	// 6 edges, each carries 0.5.
+	if got := b.MaxLoad(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MaxLoad = %v, want 0.5", got)
+	}
+}
+
+func TestAddGroupFlowSkipsSelfEdges(t *testing.T) {
+	b, _ := New(5, 1)
+	if err := b.AddGroupFlow([]int{0, 1}, []int{1, 2}, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (0,1), (0,2), (1,2) -> 3 edges.
+	if got := b.TotalLoad(); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("TotalLoad = %v", got)
+	}
+}
+
+func TestAddGroupFlowNoEdges(t *testing.T) {
+	b, _ := New(5, 1)
+	if err := b.AddGroupFlow([]int{2}, []int{2}, 1.0); err == nil {
+		t.Error("identical singleton groups accepted")
+	}
+	if err := b.AddGroupFlow(nil, []int{1}, 1.0); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestSustainableScale(t *testing.T) {
+	b, _ := New(4, 2)
+	if !math.IsInf(b.SustainableScale(), 1) {
+		t.Error("unloaded backbone should sustain infinite scale")
+	}
+	_ = b.AddLoad(0, 1, 0.5)
+	if got := b.SustainableScale(); got != 4 {
+		t.Errorf("SustainableScale = %v, want 4", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b, _ := New(4, 1)
+	_ = b.AddLoad(0, 1, 1)
+	b.Reset()
+	if b.TotalLoad() != 0 {
+		t.Error("Reset did not clear loads")
+	}
+}
+
+func TestCutCapacity(t *testing.T) {
+	b, _ := New(6, 0.5)
+	cut, err := b.CutCapacity([]bool{true, true, true, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 0.5*9 {
+		t.Errorf("CutCapacity = %v, want 4.5", cut)
+	}
+	if _, err := b.CutCapacity([]bool{true}); err == nil {
+		t.Error("wrong partition size accepted")
+	}
+}
+
+func TestZeroBSBackbone(t *testing.T) {
+	b, err := New(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MaxLoad() != 0 || b.TotalLoad() != 0 {
+		t.Error("empty backbone has load")
+	}
+}

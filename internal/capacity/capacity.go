@@ -1,0 +1,253 @@
+// Package capacity encodes the paper's main results: the classification
+// of mobility into strong, weak and trivial regimes (Theorem 1 and
+// Section V), the asymptotic per-node capacity of each regime (Table I,
+// Theorems 3-5, 7, 9, Corollary 3), the optimal transmission ranges,
+// and the mobility- vs infrastructure-dominant state (Remark 10).
+package capacity
+
+import (
+	"fmt"
+
+	"hybridcap/internal/scaling"
+)
+
+// Regime is the mobility regime of a network parameter point.
+type Regime int
+
+// Mobility regimes. Strong means the network is uniformly dense
+// (Theorem 1: f*sqrt(gamma) = o(1)); Weak means clusters fragment the
+// network but each cluster is internally uniformly dense
+// (f*sqrt(gammaTilde) = o(1)); Trivial means mobility is so limited
+// relative to in-cluster density that the network behaves as static
+// (Theorem 8); Boundary covers the measure-zero parameter sets between
+// regimes, where the paper's order conditions are equalities.
+const (
+	StrongMobility Regime = iota + 1
+	WeakMobility
+	TrivialMobility
+	BoundaryMobility
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case StrongMobility:
+		return "strong"
+	case WeakMobility:
+		return "weak"
+	case TrivialMobility:
+		return "trivial"
+	case BoundaryMobility:
+		return "boundary"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Indicators carries the quantities behind a classification, both
+// symbolic (orders in n) and numeric (evaluated at the instance's n).
+type Indicators struct {
+	// MobilityOrder is Theta(f*sqrt(gamma)); strong mobility iff o(1).
+	MobilityOrder scaling.Order
+	// SubnetOrder is Theta(f*sqrt(gammaTilde)); weak mobility iff o(1)
+	// given non-strong; trivial iff omega(log(n/m)).
+	SubnetOrder scaling.Order
+	// MobilityIndex and SubnetIndex are the finite-n values of the two
+	// quantities.
+	MobilityIndex, SubnetIndex float64
+}
+
+// Classify determines the mobility regime of a parameter point from
+// the order conditions of Theorem 1 and Section V.
+func Classify(p scaling.Params) (Regime, Indicators) {
+	ind := Indicators{
+		MobilityOrder: p.OrderF().Mul(p.OrderGamma().Sqrt()),
+		SubnetOrder:   p.OrderF().Mul(p.OrderGammaTilde().Sqrt()),
+		MobilityIndex: p.MobilityIndex(),
+		SubnetIndex:   p.SubnetMobilityIndex(),
+	}
+	one := scaling.One
+	logNM := scaling.LogN // log(n/m) = Theta(log n) for M < 1
+	if p.M >= 1 {
+		// m = Theta(n): n/m is constant and the weak/trivial split
+		// degenerates; only strong vs boundary remains.
+		logNM = scaling.One
+	}
+	switch {
+	case ind.MobilityOrder.IsLittleO(one):
+		return StrongMobility, ind
+	case !ind.MobilityOrder.IsOmega(one):
+		return BoundaryMobility, ind
+	case ind.SubnetOrder.IsLittleO(one):
+		return WeakMobility, ind
+	case ind.SubnetOrder.IsOmega(logNM):
+		return TrivialMobility, ind
+	default:
+		return BoundaryMobility, ind
+	}
+}
+
+// InfrastructureTerm returns Theta(min(k^2 c/n, k/n)), the
+// infrastructure contribution of Theorems 4, 5, 7 and 9:
+// k^2 c/n = n^(K+Phi-1) and k/n = n^(K-1), so the minimum is
+// n^(K-1+min(Phi,0)). It returns false if the network has no BSs.
+func InfrastructureTerm(p scaling.Params) (scaling.Order, bool) {
+	if !p.HasInfrastructure() {
+		return scaling.Order{}, false
+	}
+	phi := p.Phi
+	if phi > 0 {
+		phi = 0
+	}
+	return scaling.Poly(p.K - 1 + phi), true
+}
+
+// MobilityTerm returns the pure-wireless transport capacity of the
+// regime: Theta(1/f) under strong mobility (Theorem 3), and
+// Theta(sqrt(m/(n^2 log m))) otherwise (Corollary 3).
+func MobilityTerm(p scaling.Params) scaling.Order {
+	regime, _ := Classify(p)
+	if regime == StrongMobility {
+		return scaling.Poly(-p.Alpha)
+	}
+	// sqrt(m / (n^2 log m)) = n^((M-2)/2) * log^(-1/2) n.
+	return scaling.PolyLog((p.M-2)/2, -0.5)
+}
+
+// PerNodeCapacity returns the asymptotic per-node capacity of the
+// parameter point per Table I. It is both the upper bound (Theorem 4)
+// and the achievable lower bound (Theorem 5, Corollary 2), which are
+// tight in every regime.
+func PerNodeCapacity(p scaling.Params) scaling.Order {
+	regime, _ := Classify(p)
+	infra, hasBS := InfrastructureTerm(p)
+	switch regime {
+	case StrongMobility:
+		mob := scaling.Poly(-p.Alpha)
+		if !hasBS {
+			return mob
+		}
+		// Theta(1/f) + Theta(min(k^2 c/n, k/n)): the sum order is the max.
+		return scaling.Max(mob, infra)
+	default:
+		if !hasBS {
+			return MobilityTerm(p)
+		}
+		return infra
+	}
+}
+
+// DominantState reports which resource sets the capacity (Remark 10).
+type DominantState int
+
+// Dominance states.
+const (
+	MobilityDominant DominantState = iota + 1
+	InfrastructureDominant
+	BalancedDominance // both terms are the same order
+)
+
+// String implements fmt.Stringer.
+func (d DominantState) String() string {
+	switch d {
+	case MobilityDominant:
+		return "mobility-dominant"
+	case InfrastructureDominant:
+		return "infrastructure-dominant"
+	case BalancedDominance:
+		return "balanced"
+	default:
+		return fmt.Sprintf("DominantState(%d)", int(d))
+	}
+}
+
+// Dominance classifies the network state per Remark 10.
+func Dominance(p scaling.Params) DominantState {
+	infra, hasBS := InfrastructureTerm(p)
+	if !hasBS {
+		return MobilityDominant
+	}
+	regime, _ := Classify(p)
+	if regime != StrongMobility {
+		return InfrastructureDominant
+	}
+	mob := scaling.Poly(-p.Alpha)
+	switch mob.Cmp(infra) {
+	case 1:
+		return MobilityDominant
+	case -1:
+		return InfrastructureDominant
+	default:
+		return BalancedDominance
+	}
+}
+
+// OptimalRT returns the order of the optimal transmission range for the
+// regime, per the last column of Table I. For M >= 1 the weak/trivial
+// rows degenerate (every "cluster" is a single node, so r*sqrt(m/n) and
+// r*sqrt(m/k) lose their meaning); the network then behaves as a static
+// uniform one and the Gupta-Kumar critical range sqrt(log n / n)
+// applies instead.
+func OptimalRT(p scaling.Params) scaling.Order {
+	regime, _ := Classify(p)
+	staticCritical := scaling.PolyLog(-0.5, 0.5)
+	switch regime {
+	case StrongMobility:
+		// 1/sqrt(n) (Theorem 2 / Remark 6).
+		return scaling.Poly(-0.5)
+	case WeakMobility:
+		if p.M >= 1 {
+			return staticCritical
+		}
+		if p.HasInfrastructure() {
+			// r*sqrt(m/n).
+			return scaling.Poly(-p.R + (p.M-1)/2)
+		}
+		// sqrt(gamma(n)) = sqrt(log m / m) (Lemma 10); Theta(1) when the
+		// cluster count is constant (M = 0).
+		return p.OrderGamma().Sqrt()
+	case TrivialMobility:
+		if p.M >= 1 {
+			return staticCritical
+		}
+		if p.HasInfrastructure() {
+			// r*sqrt(m/k).
+			return scaling.Poly(-p.R + (p.M-p.K)/2)
+		}
+		return p.OrderGamma().Sqrt()
+	default:
+		// On the boundary either neighbor's choice is order-optimal;
+		// report the strong-mobility range.
+		return scaling.Poly(-0.5)
+	}
+}
+
+// BackboneBottleneck reports where the infrastructure bottleneck lies
+// as a function of phi (Section IV.B): the backbone wires throttle the
+// infrastructure term when k^2 c/n < k/n, i.e. mu_c = k c = n^phi with
+// phi < 0; the MS-BS air interface is the bottleneck when phi >= 0.
+//
+// Note: the paper's prose places this boundary at phi = 1 and calls
+// phi = 1 ("c(n) constant") optimal; its own formulas
+// (min(k^2 c/n, k/n), Lemma 7, Theorem 5) and Figure 3 (phi >= 0 vs
+// phi = -1/2 panels) put the boundary at phi = 0. We implement the
+// formulas and flag the discrepancy in EXPERIMENTS.md.
+func BackboneBottleneck(p scaling.Params) string {
+	if p.Phi < 0 {
+		return "backbone"
+	}
+	return "access"
+}
+
+// OptimalPhi returns the smallest phi that does not throttle the
+// infrastructure term: phi = 0, i.e. c(n) = Theta(1/k). Any larger phi
+// wastes wired bandwidth (the capacity stops improving), any smaller
+// phi reduces capacity.
+func OptimalPhi() float64 { return 0 }
+
+// CapacityExponents returns the (n-exponent, log-exponent) of the
+// per-node capacity, the form used to draw Figure 3.
+func CapacityExponents(p scaling.Params) (e, l float64) {
+	o := PerNodeCapacity(p)
+	return o.E, o.L
+}

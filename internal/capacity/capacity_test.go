@@ -1,0 +1,319 @@
+package capacity
+
+import (
+	"strings"
+	"testing"
+
+	"hybridcap/internal/scaling"
+)
+
+// Canonical parameter points, one per Table-I row.
+func strongParams() scaling.Params {
+	// With M = 1 (no clustering), f*sqrt(gamma) = n^(alpha-1/2)*polylog:
+	// strong for every alpha < 1/2. (Strong mobility with genuine
+	// clusters is infeasible: non-overlap needs R > M/2 while R <= alpha
+	// and strong needs alpha < M/2.)
+	return scaling.Params{N: 4096, Alpha: 0.25, K: 0.5, Phi: 0, M: 1, R: 0}
+}
+
+func weakParams() scaling.Params {
+	// alpha - M/2 = 0.45 - 0.1 > 0 -> not strong.
+	// alpha - R - (1-M)/2 = 0.45 - 0.3 - 0.4 < 0 -> weak.
+	return scaling.Params{N: 4096, Alpha: 0.45, K: 0.5, Phi: 0, M: 0.2, R: 0.3}
+}
+
+func trivialParams() scaling.Params {
+	// alpha - M/2 = 0.6 - 0.1 > 0 -> not strong.
+	// alpha - R - (1-M)/2 = 0.6 - 0.15 - 0.4 > 0 -> trivial.
+	// Requires the super-extended range alpha > 1/2 (see
+	// scaling.Params.Validate).
+	return scaling.Params{N: 4096, Alpha: 0.6, K: 0.5, Phi: 0, M: 0.2, R: 0.15}
+}
+
+func TestClassifyRegimes(t *testing.T) {
+	cases := []struct {
+		name string
+		p    scaling.Params
+		want Regime
+	}{
+		{"strong", strongParams(), StrongMobility},
+		{"weak", weakParams(), WeakMobility},
+		{"trivial", trivialParams(), TrivialMobility},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.p.Validate(); err != nil {
+				t.Fatalf("params invalid: %v", err)
+			}
+			got, ind := Classify(c.p)
+			if got != c.want {
+				t.Errorf("Classify = %v (indicators %+v), want %v", got, ind, c.want)
+			}
+		})
+	}
+}
+
+func TestClassifyUniformDense(t *testing.T) {
+	// The classic models (m = n, f constant) are strongly mobile.
+	p := scaling.Params{N: 1024, Alpha: 0, K: 0.5, Phi: 0, M: 1, R: 0}
+	if got, _ := Classify(p); got != StrongMobility {
+		t.Errorf("uniform dense network classified %v", got)
+	}
+}
+
+func TestClassifyBoundary(t *testing.T) {
+	// alpha = M/2 exactly: f*sqrt(gamma) = Theta(polylog), boundary.
+	p := scaling.Params{N: 1024, Alpha: 0.25, K: 0.6, Phi: 0, M: 0.5, R: 0.25}
+	// Adjust R to satisfy M-2R<0: need R > 0.25; R <= alpha = 0.25 fails.
+	// Use alpha = 0.3, M = 0.6, R = 0.305 is > alpha... instead pick
+	// alpha=0.3, M=0.6 -> boundary needs alpha - M/2 = 0: M = 0.6.
+	p = scaling.Params{N: 1024, Alpha: 0.3, K: 0.7, Phi: 0, M: 0.6, R: 0.305}
+	if err := p.Validate(); err == nil {
+		got, _ := Classify(p)
+		if got != BoundaryMobility {
+			t.Errorf("boundary point classified %v", got)
+		}
+	} else {
+		// With the log factor, alpha = M/2 is omega(1) — still boundary
+		// by the little-o test failing. Check via indicators directly.
+		q := scaling.Params{N: 1024, Alpha: 0.3, K: 0.7, Phi: 0, M: 0.6, R: 0.3}
+		if err := q.Validate(); err != nil {
+			t.Skipf("no valid boundary point: %v", err)
+		}
+		got, _ := Classify(q)
+		if got == StrongMobility {
+			t.Errorf("alpha = M/2 classified strong; want boundary or weaker")
+		}
+	}
+}
+
+func TestInfrastructureTerm(t *testing.T) {
+	p := strongParams() // K=0.5, Phi=0
+	o, ok := InfrastructureTerm(p)
+	if !ok {
+		t.Fatal("expected infrastructure term")
+	}
+	if want := scaling.Poly(-0.5); !o.IsTheta(want) {
+		t.Errorf("InfrastructureTerm = %v, want %v", o, want)
+	}
+	// Negative phi throttles: K-1+phi.
+	p.Phi = -0.25
+	o, _ = InfrastructureTerm(p)
+	if want := scaling.Poly(-0.75); !o.IsTheta(want) {
+		t.Errorf("InfrastructureTerm(phi=-0.25) = %v, want %v", o, want)
+	}
+	// Positive phi does not help beyond k/n.
+	p.Phi = 2
+	o, _ = InfrastructureTerm(p)
+	if want := scaling.Poly(-0.5); !o.IsTheta(want) {
+		t.Errorf("InfrastructureTerm(phi=2) = %v, want %v", o, want)
+	}
+	// BS-free.
+	p.K = -1
+	if _, ok := InfrastructureTerm(p); ok {
+		t.Error("BS-free network has no infrastructure term")
+	}
+}
+
+// Table I row by row.
+func TestTableICapacities(t *testing.T) {
+	cases := []struct {
+		name string
+		p    scaling.Params
+		want scaling.Order
+	}{
+		{
+			"strong no BS -> 1/f",
+			func() scaling.Params { p := strongParams(); p.K = -1; return p }(),
+			scaling.Poly(-0.25),
+		},
+		{
+			"strong with BS -> max(1/f, min(k^2c/n, k/n))",
+			strongParams(), // 1/f = n^-0.25 vs infra n^-0.5: mobility wins
+			scaling.Poly(-0.25),
+		},
+		{
+			"weak no BS -> sqrt(m/(n^2 log m))",
+			func() scaling.Params { p := weakParams(); p.K = -1; return p }(),
+			scaling.PolyLog((0.2-2)/2, -0.5),
+		},
+		{
+			"weak with BS -> min(k^2c/n, k/n)",
+			weakParams(),
+			scaling.Poly(-0.5),
+		},
+		{
+			"trivial with BS -> min(k^2c/n, k/n)",
+			trivialParams(),
+			scaling.Poly(-0.5),
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := PerNodeCapacity(c.p); !got.IsTheta(c.want) {
+				t.Errorf("PerNodeCapacity = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestStrongWithBSInfraDominant(t *testing.T) {
+	// Large K: infrastructure term n^(K-1) beats 1/f.
+	p := strongParams()
+	p.K = 0.9
+	want := scaling.Poly(-0.1) // K-1 = -0.1 > -alpha = -0.25
+	if got := PerNodeCapacity(p); !got.IsTheta(want) {
+		t.Errorf("PerNodeCapacity = %v, want %v", got, want)
+	}
+	if Dominance(p) != InfrastructureDominant {
+		t.Errorf("Dominance = %v", Dominance(p))
+	}
+}
+
+func TestDominance(t *testing.T) {
+	p := strongParams() // mobility term -0.25 > infra -0.5
+	if got := Dominance(p); got != MobilityDominant {
+		t.Errorf("Dominance = %v, want mobility", got)
+	}
+	p.K = -1
+	if got := Dominance(p); got != MobilityDominant {
+		t.Errorf("BS-free Dominance = %v", got)
+	}
+	q := weakParams()
+	if got := Dominance(q); got != InfrastructureDominant {
+		t.Errorf("weak-regime Dominance = %v", got)
+	}
+	// Balanced: alpha = 1 - K.
+	b := scaling.Params{N: 1024, Alpha: 0.25, K: 0.75, Phi: 0, M: 1, R: 0}
+	if got := Dominance(b); got != BalancedDominance {
+		t.Errorf("balanced Dominance = %v", got)
+	}
+}
+
+// Table I optimal RT column.
+func TestOptimalRT(t *testing.T) {
+	cases := []struct {
+		name string
+		p    scaling.Params
+		want scaling.Order
+	}{
+		{"strong", strongParams(), scaling.Poly(-0.5)},
+		{"weak with BS", weakParams(), scaling.Poly(-0.3 + (0.2-1)/2)},
+		{"weak no BS", func() scaling.Params { p := weakParams(); p.K = -1; return p }(),
+			scaling.PolyLog(-0.1, 0.5)},
+		{"trivial with BS", trivialParams(), scaling.Poly(-0.15 + (0.2-0.5)/2)},
+		{"trivial no BS", func() scaling.Params { p := trivialParams(); p.K = -1; return p }(),
+			scaling.PolyLog(-0.1, 0.5)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := OptimalRT(c.p); !got.IsTheta(c.want) {
+				t.Errorf("OptimalRT = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestBackboneBottleneck(t *testing.T) {
+	p := strongParams()
+	p.Phi = -0.5
+	if got := BackboneBottleneck(p); got != "backbone" {
+		t.Errorf("phi=-0.5: %q", got)
+	}
+	p.Phi = 0.5
+	if got := BackboneBottleneck(p); got != "access" {
+		t.Errorf("phi=0.5: %q", got)
+	}
+}
+
+func TestOptimalPhi(t *testing.T) {
+	if OptimalPhi() != 0 {
+		t.Errorf("OptimalPhi = %v", OptimalPhi())
+	}
+	// Capacity must be monotone non-decreasing in phi and flat above 0.
+	p := weakParams()
+	prev := scaling.Poly(-99)
+	for _, phi := range []float64{-1, -0.5, -0.25, 0, 0.5, 1} {
+		p.Phi = phi
+		o := PerNodeCapacity(p)
+		if o.Cmp(prev) < 0 {
+			t.Errorf("capacity decreased at phi=%v", phi)
+		}
+		prev = o
+	}
+	p.Phi = 0
+	at0 := PerNodeCapacity(p)
+	p.Phi = 2
+	if PerNodeCapacity(p) != at0 {
+		t.Error("capacity should saturate at phi=0")
+	}
+}
+
+func TestCapacityExponents(t *testing.T) {
+	e, l := CapacityExponents(strongParams())
+	if e != -0.25 || l != 0 {
+		t.Errorf("CapacityExponents = (%v, %v)", e, l)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, r := range []Regime{StrongMobility, WeakMobility, TrivialMobility, BoundaryMobility, Regime(99)} {
+		if r.String() == "" {
+			t.Error("empty regime string")
+		}
+	}
+	for _, d := range []DominantState{MobilityDominant, InfrastructureDominant, BalancedDominance, DominantState(99)} {
+		if d.String() == "" {
+			t.Error("empty dominance string")
+		}
+	}
+}
+
+// The generalization claim (Section I): classic models are special
+// cases. Grossglauser-Tse (f=1, m=n) must classify strong with capacity
+// Theta(1); Gupta-Kumar-like static has no mobility term here, covered
+// by baselines.
+func TestGeneralizesClassicModels(t *testing.T) {
+	gt := scaling.Params{N: 2048, Alpha: 0, K: -1, Phi: 0, M: 1, R: 0}
+	if got := PerNodeCapacity(gt); got != scaling.One {
+		t.Errorf("Grossglauser-Tse capacity = %v, want Theta(1)", got)
+	}
+	// Garetto-Giaccone-Leonardi restricted mobility: capacity 1/f.
+	ggl := scaling.Params{N: 2048, Alpha: 0.3, K: -1, Phi: 0, M: 1, R: 0}
+	if got := PerNodeCapacity(ggl); got != scaling.Poly(-0.3) {
+		t.Errorf("GGL capacity = %v, want Theta(n^-0.3)", got)
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	p := strongParams()
+	rows := TableI(p)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].HasBS || !rows[1].HasBS {
+		t.Error("row order should be BS-free then with-BS")
+	}
+	if rows[0].Regime != StrongMobility {
+		t.Errorf("regime = %v", rows[0].Regime)
+	}
+	// With infrastructure the capacity cannot be below the BS-free row.
+	if rows[1].Capacity.Cmp(rows[0].Capacity) < 0 {
+		t.Error("BS row below BS-free row")
+	}
+	// BS-free point yields one row.
+	free := p
+	free.K = -1
+	if got := TableI(free); len(got) != 1 {
+		t.Errorf("BS-free rows = %d", len(got))
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	out := FormatTableI(TableI(weakParams()))
+	for _, want := range []string{"regime", "weak", "yes", "no", "Theta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package capacity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridcap/internal/scaling"
+)
+
+// randomValidParams draws parameter points that pass Validate.
+func randomValidParams(rng *rand.Rand) scaling.Params {
+	for {
+		p := scaling.Params{
+			N:     1 << (8 + rng.Intn(8)),
+			Alpha: math.Round(rng.Float64()*100) / 100,
+			K:     math.Round(rng.Float64()*100) / 100,
+			Phi:   math.Round((rng.Float64()*4-2)*100) / 100,
+			M:     math.Round(rng.Float64()*100) / 100,
+			R:     math.Round(rng.Float64()*100) / 100,
+		}
+		if rng.Intn(4) == 0 {
+			p.K = -1 // BS-free
+		}
+		if rng.Intn(3) == 0 {
+			p.M = 1
+		}
+		if p.Validate() == nil {
+			return p
+		}
+	}
+}
+
+// The capacity with infrastructure is never below the capacity of the
+// same network without it, and never below the infrastructure term
+// alone (Theorems 4-5: the terms combine as a max).
+func TestCapacityMonotoneInInfrastructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := randomValidParams(rng)
+		if !p.HasInfrastructure() {
+			continue
+		}
+		withBS := PerNodeCapacity(p)
+		if infra, ok := InfrastructureTerm(p); ok {
+			if withBS.Cmp(infra) < 0 {
+				t.Fatalf("%v: capacity %v below infrastructure term %v", p, withBS, infra)
+			}
+		}
+		free := p
+		free.K = -1
+		if regime, _ := Classify(p); regime == StrongMobility {
+			// In the strong regime adding BSs can only help.
+			if withBS.Cmp(PerNodeCapacity(free)) < 0 {
+				t.Fatalf("%v: adding BSs reduced capacity %v -> %v", p, PerNodeCapacity(free), withBS)
+			}
+		}
+	}
+}
+
+// Capacity is monotone non-decreasing in K (more base stations never
+// hurt) at fixed other parameters.
+func TestCapacityMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		p := randomValidParams(rng)
+		if !p.HasInfrastructure() || p.K >= 0.95 {
+			continue
+		}
+		q := p
+		q.K = math.Min(1, p.K+0.05)
+		if q.Validate() != nil {
+			continue
+		}
+		if PerNodeCapacity(q).Cmp(PerNodeCapacity(p)) < 0 {
+			t.Fatalf("capacity decreased when K grew: %v -> %v", p, q)
+		}
+	}
+}
+
+// Capacity is monotone non-increasing in Alpha within the strong
+// regime (larger networks are harder) for BS-free networks.
+func TestCapacityMonotoneInAlphaNoBS(t *testing.T) {
+	for alpha := 0.0; alpha < 0.45; alpha += 0.05 {
+		p := scaling.Params{N: 1024, Alpha: alpha, K: -1, M: 1}
+		q := p
+		q.Alpha = alpha + 0.05
+		if PerNodeCapacity(q).Cmp(PerNodeCapacity(p)) > 0 {
+			t.Fatalf("capacity increased with alpha: %v -> %v", p, q)
+		}
+	}
+}
+
+// Every valid parameter point classifies into exactly one regime and
+// yields a capacity order with a non-positive n-exponent at most 0
+// (per-node capacity cannot grow with n) and at least -2.
+func TestCapacityExponentBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := randomValidParams(rng)
+		o := PerNodeCapacity(p)
+		if o.E > 1e-9 {
+			t.Fatalf("%v: capacity %v grows with n", p, o)
+		}
+		// Lowest possible: backbone-starved infra term K-1+phi with
+		// phi drawn from [-2, 2], or the weak no-BS term (M-2)/2.
+		if o.E < -3.01 {
+			t.Fatalf("%v: capacity %v implausibly small", p, o)
+		}
+	}
+}
+
+// The regime classification is consistent with the numeric indicators
+// at large n: strong implies a small mobility index as n grows.
+func TestRegimeMatchesNumericIndicator(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		p := randomValidParams(rng)
+		p.N = 1 << 22 // large n so polylog factors are dominated
+		regime, ind := Classify(p)
+		switch regime {
+		case StrongMobility:
+			if ind.MobilityIndex > 30 {
+				t.Fatalf("%v strong but index %v", p, ind.MobilityIndex)
+			}
+		case WeakMobility, TrivialMobility:
+			if ind.MobilityIndex < 1e-2 {
+				t.Fatalf("%v %v but index %v", p, regime, ind.MobilityIndex)
+			}
+		}
+	}
+}
+
+// OptimalRT stays within sane bounds: it never grows with n (a
+// constant range would drown the network in interference) and never
+// shrinks beyond n^-2 (far below the in-cluster packing spacing
+// r/sqrt(n/m) of even the tightest valid cluster). Note it can
+// legitimately drop below the global 1/sqrt(n), and even below n^-1:
+// a shrinking cluster packs n/m nodes into radius r = n^-R, so its
+// critical spacing r*sqrt(m/n) can be far smaller than uniform
+// spacing.
+func TestOptimalRTBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		p := randomValidParams(rng)
+		rt := OptimalRT(p)
+		// Constant ranges are allowed (M = 0: a constant number of
+		// clusters needs a constant bridging range); growing ones are
+		// not.
+		if rt.Cmp(scaling.One) > 0 {
+			t.Fatalf("%v: optimal RT %v grows with n", p, rt)
+		}
+		if rt.Cmp(scaling.Poly(-2)) < 0 {
+			t.Fatalf("%v: optimal RT %v below n^-2", p, rt)
+		}
+		// The weak-regime range is exactly the in-cluster spacing.
+		if regime, _ := Classify(p); regime == WeakMobility && p.HasInfrastructure() && p.M < 1 {
+			want := scaling.Poly(-p.R).Mul(scaling.Poly((p.M - 1) / 2))
+			if !rt.IsTheta(want) {
+				t.Fatalf("%v: weak RT %v, want %v", p, rt, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package capacity
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridcap/internal/scaling"
+)
+
+// TableRow is one symbolic row of Table I.
+type TableRow struct {
+	// Regime and whether the row has infrastructure.
+	Regime Regime
+	HasBS  bool
+	// Condition restates the regime's defining order condition.
+	Condition string
+	// Capacity and RT are the per-node capacity and optimal
+	// transmission range orders at the given parameter point.
+	Capacity, RT scaling.Order
+}
+
+// TableI evaluates all applicable rows of Table I at a parameter
+// point: the row matching the point's own regime, with and without its
+// infrastructure. It is the programmatic form of the paper's summary
+// table.
+func TableI(p scaling.Params) []TableRow {
+	regime, _ := Classify(p)
+	conditions := map[Regime]string{
+		StrongMobility:   "f*sqrt(gamma) = o(1)",
+		WeakMobility:     "f*sqrt(gamma) = omega(1), f*sqrt(gammaTilde) = o(1)",
+		TrivialMobility:  "f*sqrt(gammaTilde) = omega(log(n/m))",
+		BoundaryMobility: "on a regime boundary",
+	}
+	rows := make([]TableRow, 0, 2)
+	free := p
+	free.K = -1
+	rows = append(rows, TableRow{
+		Regime:    regime,
+		HasBS:     false,
+		Condition: conditions[regime],
+		Capacity:  PerNodeCapacity(free),
+		RT:        OptimalRT(free),
+	})
+	if p.HasInfrastructure() {
+		rows = append(rows, TableRow{
+			Regime:    regime,
+			HasBS:     true,
+			Condition: conditions[regime],
+			Capacity:  PerNodeCapacity(p),
+			RT:        OptimalRT(p),
+		})
+	}
+	return rows
+}
+
+// FormatTableI renders TableI rows as an aligned text table.
+func FormatTableI(rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-5s %-50s %-26s %s\n", "regime", "BSs", "condition", "capacity", "optimal RT")
+	for _, r := range rows {
+		bs := "no"
+		if r.HasBS {
+			bs = "yes"
+		}
+		fmt.Fprintf(&b, "%-9v %-5s %-50s %-26v %v\n", r.Regime, bs, r.Condition, r.Capacity, r.RT)
+	}
+	return b.String()
+}

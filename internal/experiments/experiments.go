@@ -1,0 +1,126 @@
+// Package experiments implements one runner per paper artifact: Table I
+// and Figures 1-3, plus the supporting experiments E1-E13 listed in
+// DESIGN.md (uniform density, optimal transmission range, dominance
+// crossover, placement invariance, cluster isolation, triviality of
+// mobility, access rate, optimal phi). Each runner returns a Result
+// carrying data series, fitted exponents, ASCII renderings and the
+// textual rows to compare against the paper.
+package experiments
+
+import (
+	"fmt"
+
+	"hybridcap/internal/measure"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/traffic"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier (e.g. "T1", "F3L", "E4").
+	ID string
+	// Description says what the experiment reproduces.
+	Description string
+	// XName labels the x column of the series.
+	XName string
+	// Series holds the data the paper's artifact plots/tabulates.
+	Series []*measure.Series
+	// Fits holds fitted scaling exponents by series name.
+	Fits map[string]*measure.Fit
+	// Rows are preformatted report lines (the "same rows the paper
+	// reports").
+	Rows []string
+	// Ascii is a terminal rendering of the figure, if applicable.
+	Ascii string
+}
+
+// Options tunes experiment cost.
+type Options struct {
+	// Sizes is the sweep of network sizes n; nil selects per-experiment
+	// defaults.
+	Sizes []int
+	// Seeds is the number of random seeds averaged per point; zero
+	// selects 3.
+	Seeds int
+	// Quick shrinks defaults for use in unit tests and smoke runs.
+	Quick bool
+}
+
+func (o Options) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return 2
+	}
+	return 3
+}
+
+func (o Options) sizes(def, quick []int) []int {
+	if len(o.Sizes) > 0 {
+		return o.Sizes
+	}
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+// instance builds a deterministic network plus permutation traffic for
+// a parameter point and seed.
+func instance(p scaling.Params, seed uint64, placement network.BSPlacement) (*network.Network, *traffic.Pattern, error) {
+	nw, err := network.New(network.Config{Params: p, Seed: seed, BSPlacement: placement})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %w", err)
+	}
+	tr, err := traffic.NewPermutation(p.N, rng.New(seed).Derive("traffic").Rand())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %w", err)
+	}
+	return nw, tr, nil
+}
+
+// Registry lists every experiment by id.
+type Runner func(Options) (*Result, error)
+
+// All returns the full experiment registry in presentation order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"T1", Table1},
+		{"F1", Figure1},
+		{"F2", Figure2},
+		{"F3L", Figure3Left},
+		{"F3R", Figure3Right},
+		{"E1", UniformDensity},
+		{"E2", OptimalRT},
+		{"E3", NoBSCapacity},
+		{"E4", DominanceCrossover},
+		{"E5", PlacementInvariance},
+		{"E6", ClusterIsolation},
+		{"E7", TrivialMobilityPersistence},
+		{"E8", WeakNoBS},
+		{"E9", OptimalPhi},
+		{"E10", AccessRate},
+		{"E11", DelayThroughput},
+		{"E12", BSOutage},
+		{"E13", KernelInvariance},
+	}
+}
+
+// Lookup finds a runner by id.
+func Lookup(id string) (Runner, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

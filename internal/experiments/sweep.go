@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridcap/internal/measure"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/routing"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/traffic"
+)
+
+// evalFn measures one instance, returning a per-node rate.
+type evalFn func(nw *network.Network, tr *traffic.Pattern) (float64, error)
+
+// schemeEval adapts a routing.Scheme.
+func schemeEval(s routing.Scheme) evalFn {
+	return func(nw *network.Network, tr *traffic.Pattern) (float64, error) {
+		ev, err := s.Evaluate(nw, tr)
+		if err != nil {
+			return 0, err
+		}
+		if ev.Failures > 0 {
+			return 0, fmt.Errorf("%s: %d unroutable pairs", s.Name(), ev.Failures)
+		}
+		return ev.Lambda, nil
+	}
+}
+
+// bestOf takes the max of several evaluators (capacity is achieved by
+// the best scheme, e.g. Theta(1/f) + Theta(min(...)) in the strong
+// regime). It fails only if every evaluator fails.
+func bestOf(evals ...evalFn) evalFn {
+	return func(nw *network.Network, tr *traffic.Pattern) (float64, error) {
+		best := 0.0
+		var lastErr error
+		ok := false
+		for _, e := range evals {
+			v, err := e(nw, tr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			ok = true
+			if v > best {
+				best = v
+			}
+		}
+		if !ok {
+			return 0, lastErr
+		}
+		return best, nil
+	}
+}
+
+// trafficFor draws the permutation traffic for a node count and seed.
+func trafficFor(n int, seed uint64) (*traffic.Pattern, error) {
+	return traffic.NewPermutation(n, rng.New(seed).Derive("traffic").Rand())
+}
+
+// sweepLambda runs eval over the sizes x seeds grid for the parameter
+// family and returns the mean-lambda series.
+func sweepLambda(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, eval evalFn) (*measure.Series, error) {
+	series := &measure.Series{Name: name}
+	for _, n := range sizes {
+		p := base.WithN(n)
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %s at n=%d: %w", name, n, err)
+		}
+		sum := 0.0
+		count := 0
+		for s := 0; s < o.seeds(); s++ {
+			nw, tr, err := instance(p, uint64(1000*s+7), placement)
+			if err != nil {
+				return nil, err
+			}
+			v, err := eval(nw, tr)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, s, err)
+			}
+			sum += v
+			count++
+		}
+		series.Add(float64(n), sum/float64(count))
+	}
+	return series, nil
+}

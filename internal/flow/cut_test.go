@@ -1,0 +1,122 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/routing"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/traffic"
+)
+
+func cutNet(t *testing.T, p scaling.Params, seed uint64) (*network.Network, *traffic.Pattern) {
+	t.Helper()
+	nw, err := network.New(network.Config{Params: p, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.NewPermutation(p.N, rng.New(seed).Derive("traffic").Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, tr
+}
+
+func TestEvaluateCutBasic(t *testing.T) {
+	p := scaling.Params{N: 1024, Alpha: 0.25, K: 0.5, Phi: 0, M: 1, R: 0}
+	nw, tr := cutNet(t, p, 1)
+	cb, err := EvaluateCut(nw, tr, geom.HalfTorus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Pairs == 0 || cb.Lambda <= 0 {
+		t.Fatalf("cut bound %+v", cb)
+	}
+	// The half-torus separates roughly half the pairs.
+	if cb.Pairs < tr.Len()/4 || cb.Pairs > 3*tr.Len()/4 {
+		t.Errorf("separated pairs %d of %d", cb.Pairs, tr.Len())
+	}
+}
+
+func TestEvaluateCutErrors(t *testing.T) {
+	p := scaling.Params{N: 128, Alpha: 0.25, K: 0.5, Phi: 0, M: 1, R: 0}
+	nw, tr := cutNet(t, p, 2)
+	if _, err := EvaluateCut(nil, tr, geom.HalfTorus(), 0); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := EvaluateCut(nw, &traffic.Pattern{DestOf: []int{1, 0}}, geom.HalfTorus(), 0); err == nil {
+		t.Error("mismatched traffic accepted")
+	}
+	// A region containing everything separates nothing.
+	if _, err := EvaluateCut(nw, tr, geom.Rect{X: 0, Y: 0, W: 1, H: 1}, 0); err == nil {
+		t.Error("all-covering region accepted")
+	}
+}
+
+// Theorem 4 / Corollary 2: the achieved rate of the optimal scheme must
+// not exceed the cut upper bound.
+func TestAchievedRateBelowCutBound(t *testing.T) {
+	p := scaling.Params{N: 2048, Alpha: 0.3, K: 0.5, Phi: 0, M: 1, R: 0}
+	nw, tr := cutNet(t, p, 3)
+	cb, err := EvaluateCut(nw, tr, geom.HalfTorus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := (routing.SchemeA{}).Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Lambda > cb.Lambda {
+		t.Errorf("scheme A rate %v exceeds cut bound %v", ev.Lambda, cb.Lambda)
+	}
+}
+
+// Lemma 7 shape: the wired part of the cut capacity scales like k^2*c.
+func TestWiredCutScaling(t *testing.T) {
+	var ks, wired []float64
+	for _, kExp := range []float64{0.4, 0.5, 0.6, 0.7} {
+		p := scaling.Params{N: 2048, Alpha: 0.25, K: kExp, Phi: 0, M: 1, R: 0}
+		nw, tr := cutNet(t, p, 4)
+		cb, err := EvaluateCut(nw, tr, geom.HalfTorus(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, float64(nw.NumBS()))
+		wired = append(wired, cb.Wired)
+	}
+	// wired ~ c*k^2/4 with c = n^(phi-K) = n^-K: wired ~ k^2*c. Check
+	// the ratio wired/(k^2 c) is constant.
+	for i := range ks {
+		p := scaling.Params{N: 2048, Alpha: 0.25, K: math.Log(ks[i]) / math.Log(2048), Phi: 0, M: 1, R: 0}
+		expect := p.BandwidthC() * ks[i] * ks[i] / 4
+		if wired[i] < expect/2 || wired[i] > expect*2 {
+			t.Errorf("k=%v: wired %v, expect ~%v", ks[i], wired[i], expect)
+		}
+	}
+}
+
+// The wireless part of the cut bound reproduces the Theta(1/f) limit:
+// per separated pair it scales like 1/f.
+func TestWirelessCutScalesAsInverseF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	var ns, perPair []float64
+	for _, n := range []int{1024, 4096, 16384} {
+		p := scaling.Params{N: n, Alpha: 0.3, K: -1, Phi: 0, M: 1, R: 0}
+		nw, tr := cutNet(t, p, 5)
+		cb, err := EvaluateCut(nw, tr, geom.HalfTorus(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, float64(n))
+		perPair = append(perPair, cb.Lambda)
+	}
+	slope := (math.Log(perPair[2]) - math.Log(perPair[0])) / (math.Log(ns[2]) - math.Log(ns[0]))
+	if math.Abs(slope-(-0.3)) > 0.12 {
+		t.Errorf("cut bound slope = %v, want ~ -0.3", slope)
+	}
+}

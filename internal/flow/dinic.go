@@ -1,0 +1,158 @@
+// Package flow provides max-flow computation and the graph-cut
+// capacity bounds of Lemmas 6 and 7: for any simple closed curve L the
+// per-node rate is at most the total link capacity crossing L divided
+// by the number of source-destination pairs separated by L.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dinic is a max-flow solver over a capacitated directed graph with
+// float64 capacities.
+type Dinic struct {
+	n     int
+	head  []int32
+	next  []int32
+	to    []int32
+	caps  []float64
+	level []int32
+	iter  []int32
+}
+
+// NewDinic creates a solver over n nodes.
+func NewDinic(n int) (*Dinic, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flow: need positive node count, got %d", n)
+	}
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Dinic{n: n, head: head}, nil
+}
+
+// AddEdge adds a directed edge u -> v with the given capacity (and the
+// implicit reverse edge with zero capacity).
+func (d *Dinic) AddEdge(u, v int, capacity float64) error {
+	if u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return fmt.Errorf("flow: edge (%d,%d) out of range n=%d", u, v, d.n)
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		return fmt.Errorf("flow: invalid capacity %g", capacity)
+	}
+	d.addHalf(u, v, capacity)
+	d.addHalf(v, u, 0)
+	return nil
+}
+
+// AddUndirected adds capacity in both directions.
+func (d *Dinic) AddUndirected(u, v int, capacity float64) error {
+	if u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return fmt.Errorf("flow: edge (%d,%d) out of range n=%d", u, v, d.n)
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		return fmt.Errorf("flow: invalid capacity %g", capacity)
+	}
+	d.addHalf(u, v, capacity)
+	d.addHalf(v, u, capacity)
+	return nil
+}
+
+func (d *Dinic) addHalf(u, v int, capacity float64) {
+	d.to = append(d.to, int32(v))
+	d.caps = append(d.caps, capacity)
+	d.next = append(d.next, d.head[u])
+	d.head[u] = int32(len(d.to) - 1)
+}
+
+const flowEps = 1e-12
+
+// MaxFlow computes the maximum s-t flow. The graph's capacities are
+// consumed; rebuild the solver to run again.
+func (d *Dinic) MaxFlow(s, t int) (float64, error) {
+	if s < 0 || t < 0 || s >= d.n || t >= d.n {
+		return 0, fmt.Errorf("flow: terminals (%d,%d) out of range n=%d", s, t, d.n)
+	}
+	if s == t {
+		return 0, fmt.Errorf("flow: source equals sink %d", s)
+	}
+	total := 0.0
+	d.level = make([]int32, d.n)
+	d.iter = make([]int32, d.n)
+	for d.bfs(s, t) {
+		copy(d.iter, d.head)
+		for {
+			f := d.dfs(s, t, math.Inf(1))
+			if f <= flowEps {
+				break
+			}
+			total += f
+		}
+	}
+	return total, nil
+}
+
+func (d *Dinic) bfs(s, t int) bool {
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := make([]int32, 0, d.n)
+	queue = append(queue, int32(s))
+	d.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := d.head[u]; e >= 0; e = d.next[e] {
+			v := d.to[e]
+			if d.caps[e] > flowEps && d.level[v] < 0 {
+				d.level[v] = d.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return d.level[t] >= 0
+}
+
+func (d *Dinic) dfs(u, t int, limit float64) float64 {
+	if u == t {
+		return limit
+	}
+	for ; d.iter[u] >= 0; d.iter[u] = d.next[d.iter[u]] {
+		e := d.iter[u]
+		v := int(d.to[e])
+		if d.caps[e] > flowEps && d.level[v] == d.level[u]+1 {
+			f := d.dfs(v, t, math.Min(limit, d.caps[e]))
+			if f > flowEps {
+				d.caps[e] -= f
+				d.caps[e^1] += f
+				return f
+			}
+		}
+	}
+	return 0
+}
+
+// MinCutSide returns, after MaxFlow has run, the set of nodes reachable
+// from s in the residual graph (the s-side of a minimum cut).
+func (d *Dinic) MinCutSide(s int) ([]bool, error) {
+	if s < 0 || s >= d.n {
+		return nil, fmt.Errorf("flow: source %d out of range", s)
+	}
+	side := make([]bool, d.n)
+	stack := []int32{int32(s)}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := d.head[u]; e >= 0; e = d.next[e] {
+			v := d.to[e]
+			if d.caps[e] > flowEps && !side[v] {
+				side[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return side, nil
+}

@@ -1,0 +1,174 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDinicErrors(t *testing.T) {
+	if _, err := NewDinic(0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	d, _ := NewDinic(3)
+	if err := d.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := d.AddEdge(0, 1, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := d.AddEdge(0, 1, math.NaN()); err == nil {
+		t.Error("NaN capacity accepted")
+	}
+}
+
+func TestMaxFlowSimple(t *testing.T) {
+	// s(0) -> 1 -> t(2), bottleneck 2.
+	d, _ := NewDinic(3)
+	mustAdd(t, d, 0, 1, 3)
+	mustAdd(t, d, 1, 2, 2)
+	got, err := d.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 2) {
+		t.Errorf("MaxFlow = %v, want 2", got)
+	}
+}
+
+func mustAdd(t *testing.T, d *Dinic, u, v int, c float64) {
+	t.Helper()
+	if err := d.AddEdge(u, v, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMaxFlowClassic(t *testing.T) {
+	// Standard 6-node example with known max flow 23.
+	d, _ := NewDinic(6)
+	edges := []struct {
+		u, v int
+		c    float64
+	}{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+		{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+		{3, 5, 20}, {4, 5, 4},
+	}
+	for _, e := range edges {
+		mustAdd(t, d, e.u, e.v, e.c)
+	}
+	got, err := d.MaxFlow(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 23) {
+		t.Errorf("MaxFlow = %v, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	d, _ := NewDinic(4)
+	mustAdd(t, d, 0, 1, 5)
+	mustAdd(t, d, 2, 3, 5)
+	got, err := d.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("MaxFlow across disconnect = %v", got)
+	}
+}
+
+func TestMaxFlowSameTerminals(t *testing.T) {
+	d, _ := NewDinic(2)
+	if _, err := d.MaxFlow(1, 1); err == nil {
+		t.Error("s == t accepted")
+	}
+}
+
+func TestUndirectedEdge(t *testing.T) {
+	d, _ := NewDinic(2)
+	if err := d.AddUndirected(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.MaxFlow(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 3) {
+		t.Errorf("MaxFlow = %v, want 3", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	d, _ := NewDinic(4)
+	mustAdd(t, d, 0, 1, 10)
+	mustAdd(t, d, 1, 2, 1) // bottleneck
+	mustAdd(t, d, 2, 3, 10)
+	flow, err := d.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(flow, 1) {
+		t.Fatalf("flow = %v", flow)
+	}
+	side, err := d.MinCutSide(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Errorf("MinCutSide[%d] = %v, want %v", i, side[i], want[i])
+		}
+	}
+}
+
+// Max-flow equals min-cut on random graphs: verify against the cut
+// induced by MinCutSide.
+func TestMaxFlowMinCutDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(8)
+		d, _ := NewDinic(n)
+		type edge struct {
+			u, v int
+			c    float64
+		}
+		var edges []edge
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Float64() * 10
+			edges = append(edges, edge{u, v, c})
+			mustAdd(t, d, u, v, c)
+		}
+		flow, err := d.MaxFlow(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		side, err := d.MinCutSide(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if side[n-1] && flow > 0 {
+			t.Fatal("sink reachable after max flow")
+		}
+		cut := 0.0
+		for _, e := range edges {
+			if side[e.u] && !side[e.v] {
+				cut += e.c
+			}
+		}
+		if math.Abs(cut-flow) > 1e-6 {
+			t.Errorf("trial %d: flow %v != cut %v", trial, flow, cut)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewGridTilesExactly(t *testing.T) {
+	for _, side := range []float64{1, 0.5, 0.33, 0.1, 0.013, 0.001} {
+		g := NewGrid(side)
+		if got := float64(g.Cols) * g.CellW(); !almostEqual(got, 1, 1e-12) {
+			t.Errorf("side %v: cols*cellW = %v, want 1", side, got)
+		}
+		if math.Abs(g.CellW()-side) > side {
+			t.Errorf("side %v: cell side %v too far from request", side, g.CellW())
+		}
+	}
+}
+
+func TestNewGridDegenerate(t *testing.T) {
+	for _, side := range []float64{0, -1, math.NaN(), 5} {
+		g := NewGrid(side)
+		if g.Cols < 1 || g.Rows < 1 {
+			t.Errorf("NewGrid(%v) produced empty grid %v", side, g)
+		}
+	}
+}
+
+func TestNewGridArea(t *testing.T) {
+	g := NewGridArea(0.01) // expect ~10x10
+	if g.Cols != 10 || g.Rows != 10 {
+		t.Errorf("NewGridArea(0.01) = %v, want 10x10", g)
+	}
+	if !almostEqual(g.CellArea(), 0.01, 1e-12) {
+		t.Errorf("cell area = %v, want 0.01", g.CellArea())
+	}
+}
+
+func TestCellOfInRange(t *testing.T) {
+	g := NewGridCells(7)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		c, r := g.CellOf(p)
+		if c < 0 || c >= g.Cols || r < 0 || r >= g.Rows {
+			t.Fatalf("CellOf(%v) = (%d,%d) out of range for %v", p, c, r, g)
+		}
+	}
+	// Boundary values that can round badly.
+	for _, p := range []Point{{0, 0}, {0.9999999999999999, 0.9999999999999999}, {1 - 1e-16, 0.5}} {
+		c, r := g.CellOf(p)
+		if c < 0 || c >= g.Cols || r < 0 || r >= g.Rows {
+			t.Fatalf("CellOf(%v) = (%d,%d) out of range", p, c, r)
+		}
+	}
+}
+
+func TestCellCenterRoundTrip(t *testing.T) {
+	g := NewGridCells(13)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			cc, rr := g.CellOf(g.Center(c, r))
+			if cc != c || rr != r {
+				t.Fatalf("CellOf(Center(%d,%d)) = (%d,%d)", c, r, cc, rr)
+			}
+		}
+	}
+}
+
+func TestIndexColRowRoundTrip(t *testing.T) {
+	g := Grid{Cols: 5, Rows: 9}
+	for i := 0; i < g.NumCells(); i++ {
+		c, r := g.ColRow(i)
+		if got := g.Index(c, r); got != i {
+			t.Fatalf("Index(ColRow(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestWrapCell(t *testing.T) {
+	g := Grid{Cols: 4, Rows: 4}
+	cases := []struct{ c, r, wc, wr int }{
+		{0, 0, 0, 0},
+		{4, 4, 0, 0},
+		{-1, -1, 3, 3},
+		{5, -2, 1, 2},
+		{-8, 9, 0, 1},
+	}
+	for _, cse := range cases {
+		wc, wr := g.WrapCell(cse.c, cse.r)
+		if wc != cse.wc || wr != cse.wr {
+			t.Errorf("WrapCell(%d,%d) = (%d,%d), want (%d,%d)", cse.c, cse.r, wc, wr, cse.wc, cse.wr)
+		}
+	}
+}
+
+func TestHopDist(t *testing.T) {
+	g := Grid{Cols: 10, Rows: 10}
+	cases := []struct {
+		c1, r1, c2, r2, want int
+	}{
+		{0, 0, 0, 0, 0},
+		{0, 0, 3, 0, 3},
+		{0, 0, 7, 0, 3}, // wraps
+		{0, 0, 5, 5, 10},
+		{1, 1, 9, 9, 4}, // 2 + 2 via wrap
+	}
+	for _, c := range cases {
+		if got := g.HopDist(c.c1, c.r1, c.c2, c.r2); got != c.want {
+			t.Errorf("HopDist(%d,%d,%d,%d) = %d, want %d", c.c1, c.r1, c.c2, c.r2, got, c.want)
+		}
+	}
+}
+
+func TestSignedSteps(t *testing.T) {
+	g := Grid{Cols: 10, Rows: 10}
+	cases := []struct{ from, to, want int }{
+		{0, 3, 3},
+		{3, 0, -3},
+		{0, 7, -3}, // shorter to wrap left
+		{0, 5, 5},
+		{9, 0, 1},
+	}
+	for _, c := range cases {
+		if got := g.ColSteps(c.from, c.to); got != c.want {
+			t.Errorf("ColSteps(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestStepsReachTarget(t *testing.T) {
+	g := Grid{Cols: 7, Rows: 11}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		c1, c2 := rng.Intn(g.Cols), rng.Intn(g.Cols)
+		r1, r2 := rng.Intn(g.Rows), rng.Intn(g.Rows)
+		wc, wr := g.WrapCell(c1+g.ColSteps(c1, c2), r1+g.RowSteps(r1, r2))
+		if wc != c2 || wr != r2 {
+			t.Fatalf("steps from (%d,%d) land at (%d,%d), want (%d,%d)", c1, r1, wc, wr, c2, r2)
+		}
+	}
+}
+
+func TestHopDistMatchesSteps(t *testing.T) {
+	g := Grid{Cols: 8, Rows: 8}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		c1, c2 := rng.Intn(g.Cols), rng.Intn(g.Cols)
+		r1, r2 := rng.Intn(g.Rows), rng.Intn(g.Rows)
+		want := abs(g.ColSteps(c1, c2)) + abs(g.RowSteps(r1, r2))
+		if got := g.HopDist(c1, r1, c2, r2); got != want {
+			t.Fatalf("HopDist=%d, |steps|=%d", got, want)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// HexGrid is a pointy-top hexagonal tessellation of the unit torus, the
+// cell layout of optimal routing & scheduling scheme C (Definition 13):
+// each hexagonal cell hosts one BS at its center, and MSs in the cell
+// access that BS with a transmission range equal to the cell side.
+//
+// An exact hexagonal tiling of a unit torus requires commensurate lattice
+// vectors; HexGrid rounds the requested side so that an integer number of
+// columns and rows fits, which distorts cells by at most a constant
+// factor. The paper notes (footnote 5) the cell shape is immaterial to
+// the capacity order, so this distortion is harmless.
+type HexGrid struct {
+	Cols, Rows int
+	dx, dy     float64 // horizontal and vertical center spacing
+}
+
+// NewHexGrid builds a hexagonal tessellation with cell side as close to
+// side as possible. For a pointy-top hexagon of side s the horizontal
+// center spacing is sqrt(3)*s and the vertical spacing is 1.5*s.
+func NewHexGrid(side float64) HexGrid {
+	if side <= 0 || math.IsNaN(side) {
+		side = 1
+	}
+	cols := int(math.Round(1 / (math.Sqrt(3) * side)))
+	rows := int(math.Round(1 / (1.5 * side)))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	// Rows must be even for the offset pattern to wrap consistently.
+	if rows%2 == 1 {
+		rows++
+	}
+	return HexGrid{Cols: cols, Rows: rows, dx: 1 / float64(cols), dy: 1 / float64(rows)}
+}
+
+// NewHexGridCells builds a tessellation with approximately numCells
+// cells.
+func NewHexGridCells(numCells int) HexGrid {
+	if numCells < 1 {
+		numCells = 1
+	}
+	// Cell area of a hexagon with side s is (3*sqrt(3)/2)*s^2; solve for s.
+	area := 1 / float64(numCells)
+	s := math.Sqrt(area / (3 * math.Sqrt(3) / 2))
+	return NewHexGrid(s)
+}
+
+// NumCells returns the total number of hexagonal cells.
+func (h HexGrid) NumCells() int { return h.Cols * h.Rows }
+
+// Side returns the effective cell side length after rounding. It is the
+// larger of the side implied by the horizontal and vertical spacing, a
+// safe value for the in-cell transmission range.
+func (h HexGrid) Side() float64 {
+	return math.Max(h.dx/math.Sqrt(3), h.dy/1.5)
+}
+
+// CellArea returns the exact area of one cell (the tessellation is a
+// partition, so this is 1/NumCells).
+func (h HexGrid) CellArea() float64 { return 1 / float64(h.NumCells()) }
+
+// Center returns the center of cell (col, row). Odd rows are offset by
+// half a column, producing the hexagonal packing.
+func (h HexGrid) Center(col, row int) Point {
+	col, row = h.wrapCell(col, row)
+	x := (float64(col) + 0.5) * h.dx
+	if row%2 == 1 {
+		x += h.dx / 2
+	}
+	y := (float64(row) + 0.5) * h.dy
+	return Pt(x, y)
+}
+
+// CellOf returns the (col, row) of the cell whose center is nearest to
+// p, which partitions the torus into hexagon-like Voronoi cells of the
+// offset lattice.
+func (h HexGrid) CellOf(p Point) (col, row int) {
+	p = p.Wrapped()
+	baseRow := int(p.Y * float64(h.Rows))
+	best := math.Inf(1)
+	for dr := -1; dr <= 1; dr++ {
+		r := baseRow + dr
+		x := p.X
+		if ((r%h.Rows)+h.Rows)%h.Rows%2 == 1 {
+			x -= h.dx / 2
+		}
+		c := int(math.Round(x/h.dx - 0.5))
+		for dc := -1; dc <= 1; dc++ {
+			cc, rr := h.wrapCell(c+dc, r)
+			d := Dist2(p, h.Center(cc, rr))
+			if d < best {
+				best = d
+				col, row = cc, rr
+			}
+		}
+	}
+	return col, row
+}
+
+// Index flattens (col, row) to a cell index.
+func (h HexGrid) Index(col, row int) int {
+	col, row = h.wrapCell(col, row)
+	return row*h.Cols + col
+}
+
+// CellIndexOf returns the flat index of the cell containing p.
+func (h HexGrid) CellIndexOf(p Point) int {
+	return h.Index(h.CellOf(p))
+}
+
+// ColRow recovers (col, row) from a flat cell index.
+func (h HexGrid) ColRow(idx int) (col, row int) {
+	return idx % h.Cols, idx / h.Cols
+}
+
+func (h HexGrid) wrapCell(col, row int) (int, int) {
+	col %= h.Cols
+	if col < 0 {
+		col += h.Cols
+	}
+	row %= h.Rows
+	if row < 0 {
+		row += h.Rows
+	}
+	return col, row
+}
+
+// String implements fmt.Stringer.
+func (h HexGrid) String() string {
+	return fmt.Sprintf("hexgrid %dx%d (side %.4g)", h.Cols, h.Rows, h.Side())
+}

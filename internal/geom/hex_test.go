@@ -1,0 +1,127 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewHexGridSane(t *testing.T) {
+	for _, side := range []float64{0.5, 0.1, 0.05, 0.01} {
+		h := NewHexGrid(side)
+		if h.Cols < 1 || h.Rows < 1 {
+			t.Errorf("NewHexGrid(%v) empty: %v", side, h)
+		}
+		if h.Rows%2 != 0 {
+			t.Errorf("NewHexGrid(%v) produced odd rows %d", side, h.Rows)
+		}
+		if h.Side() <= 0 {
+			t.Errorf("NewHexGrid(%v) side %v", side, h.Side())
+		}
+	}
+}
+
+func TestNewHexGridDegenerate(t *testing.T) {
+	for _, side := range []float64{0, -3, math.NaN(), 10} {
+		h := NewHexGrid(side)
+		if h.Cols < 1 || h.Rows < 1 {
+			t.Errorf("NewHexGrid(%v) empty grid", side)
+		}
+	}
+}
+
+func TestNewHexGridCellsCount(t *testing.T) {
+	for _, want := range []int{1, 4, 16, 64, 256} {
+		h := NewHexGridCells(want)
+		got := h.NumCells()
+		if got < want/3 || got > want*3 {
+			t.Errorf("NewHexGridCells(%d) produced %d cells", want, got)
+		}
+	}
+}
+
+func TestHexCellOfInRange(t *testing.T) {
+	h := NewHexGridCells(50)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		c, r := h.CellOf(p)
+		if c < 0 || c >= h.Cols || r < 0 || r >= h.Rows {
+			t.Fatalf("CellOf(%v) = (%d,%d) out of range for %v", p, c, r, h)
+		}
+	}
+}
+
+func TestHexCenterRoundTrip(t *testing.T) {
+	h := NewHexGridCells(40)
+	for r := 0; r < h.Rows; r++ {
+		for c := 0; c < h.Cols; c++ {
+			cc, rr := h.CellOf(h.Center(c, r))
+			if cc != c || rr != r {
+				t.Fatalf("CellOf(Center(%d,%d)) = (%d,%d) on %v", c, r, cc, rr, h)
+			}
+		}
+	}
+}
+
+// Every point must be assigned to the nearest center: verify against a
+// brute-force search over all centers.
+func TestHexCellOfIsNearestCenter(t *testing.T) {
+	h := NewHexGridCells(30)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		c, r := h.CellOf(p)
+		got := Dist2(p, h.Center(c, r))
+		best := math.Inf(1)
+		for rr := 0; rr < h.Rows; rr++ {
+			for cc := 0; cc < h.Cols; cc++ {
+				if d := Dist2(p, h.Center(cc, rr)); d < best {
+					best = d
+				}
+			}
+		}
+		if got > best+1e-12 {
+			t.Fatalf("CellOf(%v) chose center at dist2 %v, nearest is %v", p, got, best)
+		}
+	}
+}
+
+// Cells partition the torus: Monte-Carlo cell occupancy should be close
+// to uniform (each cell's share ~ 1/NumCells).
+func TestHexCellsBalanced(t *testing.T) {
+	h := NewHexGridCells(25)
+	counts := make([]int, h.NumCells())
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[h.CellIndexOf(Point{rng.Float64(), rng.Float64()})]++
+	}
+	want := float64(n) / float64(h.NumCells())
+	for i, c := range counts {
+		if float64(c) < want/3 || float64(c) > want*3 {
+			t.Errorf("cell %d occupancy %d far from expected %v", i, c, want)
+		}
+	}
+}
+
+func TestHexIndexRoundTrip(t *testing.T) {
+	h := NewHexGridCells(36)
+	for i := 0; i < h.NumCells(); i++ {
+		c, r := h.ColRow(i)
+		if got := h.Index(c, r); got != i {
+			t.Fatalf("Index(ColRow(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHexNeighborCentersDistance(t *testing.T) {
+	// Adjacent cell centers should be within a small constant multiple of
+	// the cell side.
+	h := NewHexGrid(0.05)
+	c0 := h.Center(0, 0)
+	c1 := h.Center(1, 0)
+	if d := Dist(c0, c1); d > 4*h.Side() {
+		t.Errorf("adjacent centers %v apart, side %v", d, h.Side())
+	}
+}

@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestWrap(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{0.25, 0.25},
+		{1, 0},
+		{1.75, 0.75},
+		{-0.25, 0.75},
+		{-3.5, 0.5},
+		{2, 0},
+	}
+	for _, c := range cases {
+		if got := Wrap(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		w := Wrap(x)
+		return w >= 0 && w < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaRange(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		d := Delta(Wrap(a), Wrap(b))
+		return d >= -0.5 && d < 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaConsistentWithAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		d := Delta(a, b)
+		if got := Wrap(a + d); !almostEqual(got, b, 1e-9) {
+			t.Fatalf("Wrap(%v + Delta(%v,%v)=%v) = %v, want %v", a, a, b, d, got, b)
+		}
+	}
+}
+
+func TestDistBasic(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{0.3, 0}, 0.3},
+		{Point{0, 0}, Point{0.9, 0}, 0.1},                   // wraps
+		{Point{0.1, 0.1}, Point{0.9, 0.9}, math.Sqrt(0.08)}, // wraps both axes
+		{Point{0, 0}, Point{0.5, 0.5}, math.Sqrt2 / 2},      // antipode
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Pt(ax, ay)
+		b := Pt(bx, by)
+		return almostEqual(Dist(a, b), Dist(b, a), 1e-12)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := Point{rng.Float64(), rng.Float64()}
+		b := Point{rng.Float64(), rng.Float64()}
+		c := Point{rng.Float64(), rng.Float64()}
+		if Dist(a, c) > Dist(a, b)+Dist(b, c)+1e-12 {
+			t.Fatalf("triangle inequality violated: d(%v,%v)=%v > %v + %v",
+				a, c, Dist(a, c), Dist(a, b), Dist(b, c))
+		}
+	}
+}
+
+func TestDistBounded(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		d := Dist(Pt(ax, ay), Pt(bx, by))
+		return d >= 0 && d <= MaxDist+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTranslationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		a := Point{rng.Float64(), rng.Float64()}
+		b := Point{rng.Float64(), rng.Float64()}
+		dx := rng.Float64()*4 - 2
+		dy := rng.Float64()*4 - 2
+		d0 := Dist(a, b)
+		d1 := Dist(Add(a, dx, dy), Add(b, dx, dy))
+		if !almostEqual(d0, d1, 1e-9) {
+			t.Fatalf("translation changed distance: %v vs %v", d0, d1)
+		}
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		a := Point{rng.Float64(), rng.Float64()}
+		b := Point{rng.Float64(), rng.Float64()}
+		dx, dy := Sub(b, a)
+		got := Add(a, dx, dy)
+		if Dist(got, b) > 1e-9 {
+			t.Fatalf("Add(a, Sub(b,a)) = %v, want %v", got, b)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := Point{0.9, 0.5}
+	b := Point{0.1, 0.5} // shortest path wraps through x=0
+	mid := Lerp(a, b, 0.5)
+	if !almostEqual(mid.X, 0.0, 1e-12) || !almostEqual(mid.Y, 0.5, 1e-12) {
+		t.Errorf("Lerp midpoint = %v, want (0, 0.5)", mid)
+	}
+	if got := Lerp(a, b, 0); Dist(got, a) > 1e-12 {
+		t.Errorf("Lerp t=0 = %v, want %v", got, a)
+	}
+	if got := Lerp(a, b, 1); Dist(got, b) > 1e-12 {
+		t.Errorf("Lerp t=1 = %v, want %v", got, b)
+	}
+}
+
+func TestPtWraps(t *testing.T) {
+	p := Pt(1.25, -0.25)
+	if !almostEqual(p.X, 0.25, 1e-12) || !almostEqual(p.Y, 0.75, 1e-12) {
+		t.Errorf("Pt(1.25,-0.25) = %v, want (0.25, 0.75)", p)
+	}
+}

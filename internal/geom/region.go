@@ -1,0 +1,73 @@
+package geom
+
+// Region is a measurable subset of the torus. Regions serve as the
+// interior I_L of the simple closed convex curves L used in the cut
+// bound of Lemma 6: the cut separates nodes inside the region from nodes
+// outside it.
+type Region interface {
+	// Contains reports whether p lies inside the region.
+	Contains(p Point) bool
+	// Area returns the area of the region.
+	Area() float64
+	// Perimeter returns the length of the region boundary (the length
+	// of the curve L).
+	Perimeter() float64
+}
+
+// Disk is a metric ball on the torus.
+type Disk struct {
+	Center Point
+	R      float64
+}
+
+// Contains reports whether p is within torus distance R of the center.
+func (d Disk) Contains(p Point) bool {
+	return Dist2(d.Center, p) <= d.R*d.R
+}
+
+// Area returns pi*R^2. The value is exact only while the disk does not
+// self-overlap around the torus (R <= 1/2), which covers every use in
+// this codebase.
+func (d Disk) Area() float64 {
+	const pi = 3.141592653589793
+	return pi * d.R * d.R
+}
+
+// Perimeter returns the circumference 2*pi*R.
+func (d Disk) Perimeter() float64 {
+	const pi = 3.141592653589793
+	return 2 * pi * d.R
+}
+
+// Rect is an axis-aligned rectangle on the torus, possibly wrapping
+// around either axis. It is defined by its lower corner and extents;
+// extents must lie in (0, 1].
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Contains reports whether p lies inside the rectangle, honoring
+// wrap-around.
+func (r Rect) Contains(p Point) bool {
+	dx := Wrap(p.X - r.X)
+	dy := Wrap(p.Y - r.Y)
+	return dx < r.W && dy < r.H
+}
+
+// Area returns W*H.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Perimeter returns 2*(W+H).
+func (r Rect) Perimeter() float64 { return 2 * (r.W + r.H) }
+
+// HalfTorus is the canonical constant-length cut used in Lemma 7: the
+// left half of the torus. Its boundary consists of two vertical circles
+// of total length 2.
+func HalfTorus() Rect {
+	return Rect{X: 0, Y: 0, W: 0.5, H: 1}
+}
+
+var (
+	_ Region = Disk{}
+	_ Region = Rect{}
+)

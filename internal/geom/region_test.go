@@ -1,0 +1,89 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiskContains(t *testing.T) {
+	d := Disk{Center: Point{0.5, 0.5}, R: 0.1}
+	if !d.Contains(Point{0.5, 0.5}) {
+		t.Error("disk should contain its center")
+	}
+	if !d.Contains(Point{0.55, 0.5}) {
+		t.Error("disk should contain point at 0.05")
+	}
+	if d.Contains(Point{0.7, 0.5}) {
+		t.Error("disk should not contain point at 0.2")
+	}
+}
+
+func TestDiskWrapsAroundTorus(t *testing.T) {
+	d := Disk{Center: Point{0.05, 0.5}, R: 0.1}
+	if !d.Contains(Point{0.98, 0.5}) {
+		t.Error("disk near origin should wrap and contain (0.98, 0.5)")
+	}
+}
+
+func TestDiskAreaMonteCarlo(t *testing.T) {
+	d := Disk{Center: Point{0.3, 0.7}, R: 0.2}
+	rng := rand.New(rand.NewSource(1))
+	in := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if d.Contains(Point{rng.Float64(), rng.Float64()}) {
+			in++
+		}
+	}
+	got := float64(in) / n
+	if math.Abs(got-d.Area()) > 0.005 {
+		t.Errorf("Monte-Carlo disk area = %v, analytic = %v", got, d.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{X: 0.2, Y: 0.2, W: 0.3, H: 0.3}
+	if !r.Contains(Point{0.3, 0.3}) {
+		t.Error("rect should contain interior point")
+	}
+	if r.Contains(Point{0.6, 0.3}) {
+		t.Error("rect should not contain exterior point")
+	}
+}
+
+func TestRectWraps(t *testing.T) {
+	r := Rect{X: 0.9, Y: 0.9, W: 0.2, H: 0.2}
+	if !r.Contains(Point{0.05, 0.05}) {
+		t.Error("wrapping rect should contain (0.05, 0.05)")
+	}
+	if r.Contains(Point{0.5, 0.5}) {
+		t.Error("wrapping rect should not contain (0.5, 0.5)")
+	}
+}
+
+func TestRectAreaMonteCarlo(t *testing.T) {
+	r := Rect{X: 0.8, Y: 0.1, W: 0.4, H: 0.25}
+	rng := rand.New(rand.NewSource(2))
+	in := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if r.Contains(Point{rng.Float64(), rng.Float64()}) {
+			in++
+		}
+	}
+	got := float64(in) / n
+	if math.Abs(got-r.Area()) > 0.005 {
+		t.Errorf("Monte-Carlo rect area = %v, analytic = %v", got, r.Area())
+	}
+}
+
+func TestHalfTorus(t *testing.T) {
+	h := HalfTorus()
+	if !almostEqual(h.Area(), 0.5, 1e-12) {
+		t.Errorf("half torus area = %v", h.Area())
+	}
+	if !h.Contains(Point{0.25, 0.5}) || h.Contains(Point{0.75, 0.5}) {
+		t.Error("half torus membership wrong")
+	}
+}

@@ -1,0 +1,186 @@
+package linkcap
+
+import (
+	"math"
+	"testing"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/mobility"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/scaling"
+)
+
+func uniformNetwork(t *testing.T, n int, alpha float64) *network.Network {
+	t.Helper()
+	p := scaling.Params{N: n, Alpha: alpha, K: 0.5, Phi: 0, M: 1, R: 0}
+	nw, err := network.New(network.Config{Params: p, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestAnalyticRT(t *testing.T) {
+	nw := uniformNetwork(t, 400, 0.25)
+	a := NewAnalytic(nw, 0)
+	if got, want := a.RT(), 1.0/20; !closeTo(got, want, 1e-12) {
+		t.Errorf("RT = %v, want %v", got, want)
+	}
+	a2 := NewAnalytic(nw, 2)
+	if got, want := a2.RT(), 2.0/20; !closeTo(got, want, 1e-12) {
+		t.Errorf("RT(ct=2) = %v, want %v", got, want)
+	}
+}
+
+func closeTo(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMSMSDecreasesWithDistance(t *testing.T) {
+	nw := uniformNetwork(t, 1000, 0.25)
+	a := NewAnalytic(nw, 0)
+	prev := math.Inf(1)
+	for d := 0.0; d < 0.3; d += 0.01 {
+		v := a.MSMS(d)
+		if v < 0 {
+			t.Fatalf("negative capacity at %v", d)
+		}
+		if v > prev+1e-15 {
+			t.Fatalf("MSMS increases at %v", d)
+		}
+		prev = v
+	}
+}
+
+func TestMSMSVanishesBeyondReach(t *testing.T) {
+	nw := uniformNetwork(t, 1000, 0.25)
+	a := NewAnalytic(nw, 0)
+	// Two nodes with home-points farther than 2D/f never meet.
+	d := 2*nw.Sampler.Kernel().Support()/nw.F() + 0.01
+	if v := a.MSMS(d); v != 0 {
+		t.Errorf("MSMS(%v) = %v, want 0", d, v)
+	}
+}
+
+func TestMSBSVanishesBeyondReach(t *testing.T) {
+	nw := uniformNetwork(t, 1000, 0.25)
+	a := NewAnalytic(nw, 0)
+	d := nw.Sampler.Kernel().Support()/nw.F() + 0.01
+	if v := a.MSBS(d); v != 0 {
+		t.Errorf("MSBS(%v) = %v, want 0", d, v)
+	}
+}
+
+// Lemma 2 cross-check: the analytic MS-MS capacity must match the
+// Monte-Carlo meeting probability.
+func TestAnalyticMatchesMonteCarlo(t *testing.T) {
+	nw := uniformNetwork(t, 256, 0.25)
+	a := NewAnalytic(nw, 0)
+	r := rng.New(7).Rand()
+	h1 := geom.Point{X: 0.5, Y: 0.5}
+	f := nw.F()
+	for _, sep := range []float64{0, 0.3 / f, 0.8 / f} {
+		h2 := geom.Add(h1, sep, 0)
+		mc := MeetingProbability(h1, h2, nw.Sampler, f, a.RT(), 300000, r)
+		an := a.MSMS(sep)
+		if an <= 0 {
+			t.Fatalf("analytic capacity zero at separation %v", sep)
+		}
+		if rel := math.Abs(mc-an) / an; rel > 0.15 {
+			t.Errorf("sep %v: MC %v vs analytic %v (rel %v)", sep, mc, an, rel)
+		}
+	}
+}
+
+func TestMeetingProbabilityZeroTrials(t *testing.T) {
+	nw := uniformNetwork(t, 100, 0.2)
+	if got := MeetingProbability(geom.Point{}, geom.Point{}, nw.Sampler, 1, 0.1, 0, rng.New(1).Rand()); got != 0 {
+		t.Errorf("zero trials gave %v", got)
+	}
+}
+
+// Lemma 9 / E10: aggregate access rate scales like k/n.
+func TestAccessRateScalesLikeKOverN(t *testing.T) {
+	ratios := make([]float64, 0, 3)
+	for _, n := range []int{512, 2048, 8192} {
+		p := scaling.Params{N: n, Alpha: 0.25, K: 0.6, Phi: 0, M: 1, R: 0}
+		nw, err := network.New(network.Config{Params: p, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewAnalytic(nw, 0)
+		// Average access rate over a few MSs.
+		sum := 0.0
+		const probes = 64
+		for i := 0; i < probes; i++ {
+			sum += a.AccessRate(nw.HomePoints()[i*nw.NumMS()/probes], nw.BSPos)
+		}
+		avg := sum / probes
+		kn := float64(nw.NumBS()) / float64(n)
+		ratios = append(ratios, avg/kn)
+	}
+	// The ratio mu_A/(k/n) must stay bounded across n (same constant).
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > 4*ratios[0] || ratios[i] < ratios[0]/4 {
+			t.Errorf("access-rate constant drifts: ratios %v", ratios)
+		}
+	}
+}
+
+func TestLocalDensityUniformNetwork(t *testing.T) {
+	nw := uniformNetwork(t, 4096, 0.25)
+	g := geom.NewGridCells(8)
+	field := DensityField(nw, g)
+	rep, err := Uniformity(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected rho ~ pi for MS contribution; allow generous constants.
+	if rep.Min < 0.5 || rep.Max > 20 {
+		t.Errorf("uniform network density out of band: %+v", rep)
+	}
+	if rep.Ratio > 5 {
+		t.Errorf("uniform network max/min ratio %v too large", rep.Ratio)
+	}
+}
+
+// Fig. 1 contrast: a strongly clustered, weak-mobility network must show
+// much larger density contrast than a uniform one.
+func TestLocalDensityClusteredContrast(t *testing.T) {
+	n := 4096
+	clustered := scaling.Params{N: n, Alpha: 0.5, K: 0.5, Phi: 0, M: 0.25, R: 0.35}
+	nwC, err := network.New(network.Config{Params: clustered, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := geom.NewGridCells(8)
+	repC, err := Uniformity(DensityField(nwC, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwU := uniformNetwork(t, n, 0.25)
+	repU, err := Uniformity(DensityField(nwU, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.Ratio < 3*repU.Ratio {
+		t.Errorf("clustered ratio %v not clearly above uniform ratio %v", repC.Ratio, repU.Ratio)
+	}
+}
+
+func TestUniformityEmpty(t *testing.T) {
+	if _, err := Uniformity(nil); err == nil {
+		t.Error("empty field should error")
+	}
+}
+
+func TestLocalDensityCountsBS(t *testing.T) {
+	// A BS inside the probe ball adds one to the density.
+	s := mobility.NewSampler(mobility.UniformDisk{D: 1})
+	at := geom.Point{X: 0.5, Y: 0.5}
+	n := 100
+	rhoNoBS := LocalDensity(at, nil, nil, s, 10, n)
+	rhoBS := LocalDensity(at, nil, []geom.Point{{X: 0.5, Y: 0.51}}, s, 10, n)
+	if !closeTo(rhoBS-rhoNoBS, 1, 1e-9) {
+		t.Errorf("BS contribution = %v, want 1", rhoBS-rhoNoBS)
+	}
+}

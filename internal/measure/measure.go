@@ -1,0 +1,178 @@
+// Package measure provides the statistics used by the benchmark
+// harness: log-log regression for scaling-exponent fits, seed
+// aggregation, and CSV emission of data series.
+package measure
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fit is a least-squares fit of log(y) = E*log(x) + b.
+type Fit struct {
+	// Exponent is the fitted slope E: y ~ x^E.
+	Exponent float64
+	// Intercept is b (natural log scale).
+	Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// StdErr is the standard error of the slope.
+	StdErr float64
+	// N is the number of points used.
+	N int
+}
+
+// FitPowerLaw fits y ~ x^E over positive points; non-positive points
+// are skipped. At least three valid points are required.
+func FitPowerLaw(xs, ys []float64) (*Fit, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("measure: mismatched series lengths %d and %d", len(xs), len(ys))
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if len(lx) < 3 {
+		return nil, fmt.Errorf("measure: need at least 3 positive points, have %d", len(lx))
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+		syy += ly[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) <= 1e-9*(math.Abs(sxx)+1) {
+		return nil, fmt.Errorf("measure: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// Residuals.
+	var ssRes, ssTot float64
+	meanY := sy / n
+	for i := range lx {
+		pred := slope*lx[i] + intercept
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+		ssTot += (ly[i] - meanY) * (ly[i] - meanY)
+	}
+	fit := &Fit{Exponent: slope, Intercept: intercept, N: len(lx)}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	if len(lx) > 2 {
+		fit.StdErr = math.Sqrt(ssRes / (n - 2) / (sxx - sx*sx/n))
+	}
+	return fit, nil
+}
+
+// Summary is a mean with spread over repeated measurements.
+type Summary struct {
+	Mean, StdDev, Min, Max float64
+	N                      int
+}
+
+// Summarize aggregates a sample.
+func Summarize(vals []float64) (Summary, error) {
+	if len(vals) == 0 {
+		return Summary{}, fmt.Errorf("measure: empty sample")
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(vals)}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = sum / float64(len(vals))
+	if len(vals) > 1 {
+		ss := 0.0
+		for _, v := range vals {
+			ss += (v - s.Mean) * (v - s.Mean)
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(vals)-1))
+	}
+	return s, nil
+}
+
+// Median returns the sample median.
+func Median(vals []float64) (float64, error) {
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("measure: empty sample")
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid], nil
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2, nil
+}
+
+// Series is a named sequence of (x, y) points, the unit the figure
+// generators emit.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Fit runs FitPowerLaw over the series.
+func (s *Series) Fit() (*Fit, error) { return FitPowerLaw(s.X, s.Y) }
+
+// WriteCSV emits one or more series sharing an x column. All series
+// must have equal length; the header is x followed by series names.
+func WriteCSV(w io.Writer, xName string, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("measure: no series")
+	}
+	n := series[0].Len()
+	for _, s := range series {
+		if s.Len() != n {
+			return fmt.Errorf("measure: series %q has %d points, want %d", s.Name, s.Len(), n)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(csvEscape(xName))
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		b.WriteString(strconv.FormatFloat(series[0].X[i], 'g', -1, 64))
+		for _, s := range series {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridcap/internal/rng"
+)
+
+func kernels() []Kernel {
+	return []Kernel{
+		UniformDisk{D: 1},
+		UniformDisk{D: 0.5},
+		Cone{D: 1},
+		TruncGauss{Sigma: 0.3, D: 1},
+		PowerLaw{D0: 0.1, Beta: 2, D: 1},
+	}
+}
+
+func TestKernelsNonIncreasing(t *testing.T) {
+	for _, k := range kernels() {
+		prev := math.Inf(1)
+		for d := 0.0; d <= k.Support()*1.1; d += k.Support() / 200 {
+			v := k.Density(d)
+			if v < 0 {
+				t.Errorf("%s: negative density at %v", k.Name(), d)
+			}
+			if v > prev+1e-12 {
+				t.Errorf("%s: density increases at %v: %v > %v", k.Name(), d, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestKernelsFiniteSupport(t *testing.T) {
+	for _, k := range kernels() {
+		if k.Density(k.Support()*1.001) != 0 {
+			t.Errorf("%s: density nonzero beyond support", k.Name())
+		}
+		if k.Density(0) <= 0 {
+			t.Errorf("%s: density at origin should be positive", k.Name())
+		}
+	}
+}
+
+func TestSamplerMass(t *testing.T) {
+	// Analytic masses: uniform disk pi*D^2, cone pi*D^2/3.
+	cases := []struct {
+		k    Kernel
+		want float64
+	}{
+		{UniformDisk{D: 1}, math.Pi},
+		{UniformDisk{D: 0.5}, math.Pi * 0.25},
+		{Cone{D: 1}, math.Pi / 3},
+	}
+	for _, c := range cases {
+		s := NewSampler(c.k)
+		if math.Abs(s.Mass()-c.want) > 1e-3*c.want {
+			t.Errorf("%s: mass = %v, want %v", c.k.Name(), s.Mass(), c.want)
+		}
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	r := rng.New(1).Rand()
+	for _, k := range kernels() {
+		s := NewSampler(k)
+		for i := 0; i < 1000; i++ {
+			dx, dy := s.Sample(r)
+			if d := math.Hypot(dx, dy); d > k.Support()+1e-9 {
+				t.Errorf("%s: sample at distance %v beyond support %v", k.Name(), d, k.Support())
+			}
+		}
+	}
+}
+
+// The empirical radial CDF of samples must match the analytic CDF for
+// the uniform disk (P(rho <= x) = (x/D)^2).
+func TestSampleRadialDistributionUniform(t *testing.T) {
+	s := NewSampler(UniformDisk{D: 1})
+	r := rng.New(2).Rand()
+	const n = 50000
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.SampleRadius(r) <= 0.5 {
+			count++
+		}
+	}
+	got := float64(count) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("P(rho <= 0.5) = %v, want 0.25", got)
+	}
+}
+
+// For the cone kernel the radial CDF is integral of (1-t)t dt
+// normalized: F(x) = (3x^2 - 2x^3).
+func TestSampleRadialDistributionCone(t *testing.T) {
+	s := NewSampler(Cone{D: 1})
+	r := rng.New(3).Rand()
+	const n = 50000
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		count := 0
+		r2 := rand.New(rand.NewSource(int64(x * 1000)))
+		_ = r2
+		for i := 0; i < n; i++ {
+			if s.SampleRadius(r) <= x {
+				count++
+			}
+		}
+		want := 3*x*x - 2*x*x*x
+		got := float64(count) / n
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("cone: F(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestSampleIsotropic(t *testing.T) {
+	s := NewSampler(UniformDisk{D: 1})
+	r := rng.New(4).Rand()
+	var sx, sy float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		dx, dy := s.Sample(r)
+		sx += dx
+		sy += dy
+	}
+	if math.Abs(sx/n) > 0.02 || math.Abs(sy/n) > 0.02 {
+		t.Errorf("mean displacement (%v, %v) not near zero", sx/n, sy/n)
+	}
+}
+
+func TestNormDensityIntegratesToOne(t *testing.T) {
+	for _, k := range kernels() {
+		s := NewSampler(k)
+		// 2*pi*integral of normdensity(rho)*rho drho over [0, D].
+		const bins = 4000
+		h := k.Support() / bins
+		sum := 0.0
+		for i := 0; i < bins; i++ {
+			rho := (float64(i) + 0.5) * h
+			sum += s.NormDensity(rho) * rho * h
+		}
+		total := 2 * math.Pi * sum
+		if math.Abs(total-1) > 0.01 {
+			t.Errorf("%s: normalized density integrates to %v", k.Name(), total)
+		}
+	}
+}
+
+func TestNewSamplerPanicsOnZeroSupport(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSampler should panic on zero-support kernel")
+		}
+	}()
+	NewSampler(UniformDisk{D: 0})
+}
+
+func TestDefaultKernel(t *testing.T) {
+	k := DefaultKernel()
+	if k.Support() != 1 {
+		t.Errorf("default kernel support = %v", k.Support())
+	}
+}

@@ -1,0 +1,136 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/rng"
+)
+
+func TestPlaceClusteredBasic(t *testing.T) {
+	r := rng.New(1).Rand()
+	p, err := PlaceClustered(1000, 10, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1000 || p.NumClusters() != 10 {
+		t.Fatalf("sizes: %d points, %d clusters", p.Len(), p.NumClusters())
+	}
+	for i, h := range p.HomePoints {
+		c := p.ClusterOf[i]
+		if c < 0 || c >= 10 {
+			t.Fatalf("point %d assigned to cluster %d", i, c)
+		}
+		if d := geom.Dist(h, p.ClusterCenters[c]); d > 0.05+1e-9 {
+			t.Fatalf("point %d at distance %v from its cluster center", i, d)
+		}
+	}
+}
+
+func TestPlaceClusteredErrors(t *testing.T) {
+	r := rng.New(2).Rand()
+	if _, err := PlaceClustered(0, 1, 0.1, r); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := PlaceClustered(10, 0, 0.1, r); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := PlaceClustered(10, 11, 0.1, r); err == nil {
+		t.Error("m>n should error")
+	}
+	if _, err := PlaceClustered(10, 2, -0.1, r); err == nil {
+		t.Error("negative radius should error")
+	}
+}
+
+func TestClusterSizesBalanced(t *testing.T) {
+	r := rng.New(3).Rand()
+	p, err := PlaceClustered(10000, 10, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range p.ClusterSizes() {
+		if s < 700 || s > 1300 {
+			t.Errorf("cluster %d has %d points, expected ~1000", c, s)
+		}
+	}
+}
+
+func TestPlaceUniform(t *testing.T) {
+	r := rng.New(4).Rand()
+	p, err := PlaceUniform(500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 500 || p.NumClusters() != 500 {
+		t.Fatalf("uniform placement sizes wrong: %d/%d", p.Len(), p.NumClusters())
+	}
+	// Occupancy of the four quadrants should be roughly equal.
+	var q [4]int
+	for _, h := range p.HomePoints {
+		i := 0
+		if h.X >= 0.5 {
+			i++
+		}
+		if h.Y >= 0.5 {
+			i += 2
+		}
+		q[i]++
+	}
+	for i, c := range q {
+		if c < 80 || c > 170 {
+			t.Errorf("quadrant %d occupancy %d, expected ~125", i, c)
+		}
+	}
+}
+
+func TestPlaceUniformError(t *testing.T) {
+	if _, err := PlaceUniform(0, rng.New(5).Rand()); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestUniformInDiskIsUniform(t *testing.T) {
+	r := rng.New(6).Rand()
+	center := geom.Point{X: 0.5, Y: 0.5}
+	const n = 50000
+	inner := 0
+	for i := 0; i < n; i++ {
+		p := uniformInDisk(center, 0.2, r)
+		if geom.Dist(p, center) > 0.2+1e-12 {
+			t.Fatal("point outside disk")
+		}
+		if geom.Dist(p, center) <= 0.1 {
+			inner++
+		}
+	}
+	// Inner half-radius disk has a quarter of the area.
+	got := float64(inner) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("inner-disk fraction = %v, want 0.25", got)
+	}
+}
+
+func TestSamplePointNearScalesWithF(t *testing.T) {
+	s := NewSampler(UniformDisk{D: 1})
+	r := rng.New(7).Rand()
+	home := geom.Point{X: 0.5, Y: 0.5}
+	for _, f := range []float64{1, 4, 16} {
+		maxD := 0.0
+		for i := 0; i < 2000; i++ {
+			p := SamplePointNear(home, s, f, r)
+			if d := geom.Dist(p, home); d > maxD {
+				maxD = d
+			}
+		}
+		if maxD > 1/f+1e-9 {
+			t.Errorf("f=%v: excursion %v exceeds D/f = %v", f, maxD, 1/f)
+		}
+		// On the torus measured distances cap at MaxDist, so the lower
+		// bound only applies when D/f fits inside the torus.
+		if lb := math.Min(0.8/f, 0.95*geom.MaxDist); maxD < lb {
+			t.Errorf("f=%v: max excursion %v suspiciously small", f, maxD)
+		}
+	}
+}

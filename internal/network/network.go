@@ -1,0 +1,292 @@
+// Package network assembles concrete finite network instances from the
+// paper's parameter space: n mobile stations with clustered home-points
+// and kernel mobility, plus k base stations placed by one of the
+// schemes of Section II / Theorem 6, all on the unit torus.
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/mobility"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/scaling"
+)
+
+// BSPlacement selects how base stations are located.
+type BSPlacement int
+
+// Placement schemes. Matched is the paper's default (BS distribution
+// matches the user distribution); Uniform and Grid are the simpler
+// schemes Theorem 6 proves equally good in uniformly dense networks.
+const (
+	Matched BSPlacement = iota + 1
+	Uniform
+	Grid
+)
+
+// String implements fmt.Stringer.
+func (b BSPlacement) String() string {
+	switch b {
+	case Matched:
+		return "matched"
+	case Uniform:
+		return "uniform"
+	case Grid:
+		return "grid"
+	default:
+		return fmt.Sprintf("BSPlacement(%d)", int(b))
+	}
+}
+
+// MobilityKind selects the mobility process implementation.
+type MobilityKind int
+
+// Mobility kinds. IID redraws from the stationary law each slot; Walk is
+// a slow-mixing Metropolis walk with the same stationary law; Static
+// freezes every MS at its home-point (the equivalent static model of
+// Theorem 8).
+const (
+	IID MobilityKind = iota + 1
+	Walk
+	Static
+)
+
+// String implements fmt.Stringer.
+func (m MobilityKind) String() string {
+	switch m {
+	case IID:
+		return "iid"
+	case Walk:
+		return "walk"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("MobilityKind(%d)", int(m))
+	}
+}
+
+// Config fully determines a network instance (given a seed).
+type Config struct {
+	Params      scaling.Params
+	Kernel      mobility.Kernel // nil selects mobility.DefaultKernel()
+	Mobility    MobilityKind    // zero selects IID
+	BSPlacement BSPlacement     // zero selects Matched
+	WalkStep    float64         // proposal fraction for Walk; zero = default
+	Seed        uint64
+}
+
+// Network is a concrete instance: home-points, mobility processes and
+// BS positions. It is not safe for concurrent mutation.
+type Network struct {
+	Cfg       Config
+	Placement *mobility.Placement
+	Sampler   *mobility.Sampler
+	MSProcs   []mobility.Process
+	BSPos     []geom.Point
+	BSCluster []int // index of nearest MS cluster per BS
+
+	f       float64
+	stepRNG *rand.Rand
+	etaOnce sync.Once
+	eta     *mobility.EtaTable
+}
+
+// New builds a network instance. The same Config always produces the
+// same instance.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	if cfg.Kernel == nil {
+		cfg.Kernel = mobility.DefaultKernel()
+	}
+	if cfg.Mobility == 0 {
+		cfg.Mobility = IID
+	}
+	if cfg.BSPlacement == 0 {
+		cfg.BSPlacement = Matched
+	}
+	root := rng.New(cfg.Seed)
+	p := cfg.Params
+	nw := &Network{
+		Cfg:     cfg,
+		Sampler: mobility.NewSampler(cfg.Kernel),
+		f:       p.F(),
+	}
+
+	placeRand := root.Derive("homepoints").Rand()
+	var err error
+	if m := p.NumClusters(); m >= p.N {
+		nw.Placement, err = mobility.PlaceUniform(p.N, placeRand)
+	} else {
+		nw.Placement, err = mobility.PlaceClustered(p.N, m, p.ClusterRadius(), placeRand)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("network: place home-points: %w", err)
+	}
+
+	nw.stepRNG = root.Derive("mobility").Rand()
+	nw.MSProcs = make([]mobility.Process, p.N)
+	for i, home := range nw.Placement.HomePoints {
+		switch cfg.Mobility {
+		case IID:
+			nw.MSProcs[i] = mobility.NewIID(home, nw.Sampler, nw.f, nw.stepRNG)
+		case Walk:
+			nw.MSProcs[i] = mobility.NewWalk(home, nw.Sampler, nw.f, cfg.WalkStep, nw.stepRNG)
+		case Static:
+			nw.MSProcs[i] = mobility.NewStatic(home)
+		default:
+			return nil, fmt.Errorf("network: unknown mobility kind %v", cfg.Mobility)
+		}
+	}
+
+	if p.HasInfrastructure() {
+		if err := nw.placeBS(root.Derive("bs").Rand()); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+func (nw *Network) placeBS(r *rand.Rand) error {
+	k := nw.Cfg.Params.NumBS()
+	nw.BSPos = make([]geom.Point, k)
+	switch nw.Cfg.BSPlacement {
+	case Matched:
+		// Section II: draw Qj by the clustered model, then let Yj follow
+		// phi(Y - Qj), i.e. one kernel displacement around Qj.
+		m := nw.Placement.NumClusters()
+		radius := nw.Placement.Radius
+		for j := range nw.BSPos {
+			c := r.Intn(m)
+			q := randomInDisk(nw.Placement.ClusterCenters[c], radius, r)
+			nw.BSPos[j] = mobility.SamplePointNear(q, nw.Sampler, nw.f, r)
+		}
+	case Uniform:
+		for j := range nw.BSPos {
+			nw.BSPos[j] = geom.Point{X: r.Float64(), Y: r.Float64()}
+		}
+	case Grid:
+		// Use the smallest square grid with at least k cells and spread
+		// the k BSs evenly over its cell index space, so the unused cells
+		// (when k is not a perfect square) do not cluster in one band.
+		side := int(math.Ceil(math.Sqrt(float64(k))))
+		g := geom.NewGridCells(side)
+		total := side * side
+		for j := range nw.BSPos {
+			cell := j * total / k
+			nw.BSPos[j] = g.Center(cell%side, cell/side)
+		}
+	default:
+		return fmt.Errorf("network: unknown BS placement %v", nw.Cfg.BSPlacement)
+	}
+	nw.assignBSClusters()
+	return nil
+}
+
+func randomInDisk(center geom.Point, radius float64, r *rand.Rand) geom.Point {
+	if radius <= 0 {
+		return center
+	}
+	rho := radius * math.Sqrt(r.Float64())
+	theta := r.Float64() * 2 * math.Pi
+	return geom.Add(center, rho*math.Cos(theta), rho*math.Sin(theta))
+}
+
+func (nw *Network) assignBSClusters() {
+	nw.BSCluster = make([]int, len(nw.BSPos))
+	for j, y := range nw.BSPos {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range nw.Placement.ClusterCenters {
+			if d := geom.Dist2(y, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		nw.BSCluster[j] = best
+	}
+}
+
+// NumMS returns the number of mobile stations.
+func (nw *Network) NumMS() int { return len(nw.MSProcs) }
+
+// NumBS returns the number of base stations.
+func (nw *Network) NumBS() int { return len(nw.BSPos) }
+
+// F returns the network extension f(n).
+func (nw *Network) F() float64 { return nw.f }
+
+// HomePoints returns the MS home-points (shared slice; do not mutate).
+func (nw *Network) HomePoints() []geom.Point { return nw.Placement.HomePoints }
+
+// Step advances every mobility process by one slot.
+func (nw *Network) Step() {
+	for _, p := range nw.MSProcs {
+		p.Step(nw.stepRNG)
+	}
+}
+
+// MSPositions appends the current MS positions to dst (reset to length
+// zero first) and returns it; pass nil to allocate.
+func (nw *Network) MSPositions(dst []geom.Point) []geom.Point {
+	dst = dst[:0]
+	for _, p := range nw.MSProcs {
+		dst = append(dst, p.Position())
+	}
+	return dst
+}
+
+// Eta returns the kernel's contact-density table, built lazily (it is
+// moderately expensive and only some analyses need it).
+func (nw *Network) Eta() *mobility.EtaTable {
+	nw.etaOnce.Do(func() { nw.eta = mobility.NewEtaTable(nw.Cfg.Kernel) })
+	return nw.eta
+}
+
+// RemoveBS fails a random fraction of the base stations in place,
+// modeling infrastructure outages. The surviving BSs keep their
+// positions; cluster assignments are recomputed. fraction must lie in
+// [0, 1); the instance keeps at least one BS when it had any.
+func (nw *Network) RemoveBS(fraction float64, seed uint64) error {
+	if fraction < 0 || fraction >= 1 {
+		return fmt.Errorf("network: outage fraction %g outside [0, 1)", fraction)
+	}
+	k := len(nw.BSPos)
+	if k == 0 || fraction == 0 {
+		return nil
+	}
+	keep := k - int(math.Round(fraction*float64(k)))
+	if keep < 1 {
+		keep = 1
+	}
+	r := rng.New(seed).Derive("bs-outage").Rand()
+	r.Shuffle(k, func(i, j int) {
+		nw.BSPos[i], nw.BSPos[j] = nw.BSPos[j], nw.BSPos[i]
+	})
+	nw.BSPos = nw.BSPos[:keep]
+	nw.assignBSClusters()
+	return nil
+}
+
+// MSClusterMembers returns, for each cluster, the list of MS ids whose
+// home-point belongs to it.
+func (nw *Network) MSClusterMembers() [][]int {
+	members := make([][]int, nw.Placement.NumClusters())
+	for i, c := range nw.Placement.ClusterOf {
+		members[c] = append(members[c], i)
+	}
+	return members
+}
+
+// BSClusterMembers returns, for each cluster, the list of BS ids
+// assigned (by proximity) to it.
+func (nw *Network) BSClusterMembers() [][]int {
+	members := make([][]int, nw.Placement.NumClusters())
+	for j, c := range nw.BSCluster {
+		members[c] = append(members[c], j)
+	}
+	return members
+}

@@ -1,0 +1,317 @@
+package network
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/scaling"
+)
+
+func testParams() scaling.Params {
+	return scaling.Params{N: 512, Alpha: 0.25, K: 0.5, Phi: 0, M: 0.25, R: 0.2}
+}
+
+func TestNewBasic(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumMS() != 512 {
+		t.Errorf("NumMS = %d", nw.NumMS())
+	}
+	wantBS := testParams().NumBS()
+	if nw.NumBS() != wantBS {
+		t.Errorf("NumBS = %d, want %d", nw.NumBS(), wantBS)
+	}
+	if nw.F() != testParams().F() {
+		t.Errorf("F = %v", nw.F())
+	}
+	if len(nw.HomePoints()) != 512 {
+		t.Errorf("HomePoints len = %d", len(nw.HomePoints()))
+	}
+}
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	p := testParams()
+	p.Alpha = 1.5
+	_, err := New(Config{Params: p})
+	if !errors.Is(err, scaling.ErrBadAlpha) {
+		t.Errorf("err = %v, want ErrBadAlpha", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Params: testParams(), Seed: 7}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.HomePoints() {
+		if a.HomePoints()[i] != b.HomePoints()[i] {
+			t.Fatal("home-points differ for identical config")
+		}
+	}
+	for j := range a.BSPos {
+		if a.BSPos[j] != b.BSPos[j] {
+			t.Fatal("BS positions differ for identical config")
+		}
+	}
+	a.Step()
+	b.Step()
+	pa := a.MSPositions(nil)
+	pb := b.MSPositions(nil)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("positions differ after identical Step")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := New(Config{Params: testParams(), Seed: 1})
+	b, _ := New(Config{Params: testParams(), Seed: 2})
+	same := 0
+	for i := range a.HomePoints() {
+		if a.HomePoints()[i] == b.HomePoints()[i] {
+			same++
+		}
+	}
+	if same == len(a.HomePoints()) {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestStepMovesIIDNodes(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Mobility: IID, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nw.MSPositions(nil)
+	beforeCopy := append([]geom.Point(nil), before...)
+	nw.Step()
+	after := nw.MSPositions(nil)
+	moved := 0
+	for i := range after {
+		if after[i] != beforeCopy[i] {
+			moved++
+		}
+	}
+	if moved < nw.NumMS()/2 {
+		t.Errorf("only %d/%d nodes moved", moved, nw.NumMS())
+	}
+}
+
+func TestStaticNodesStayAtHome(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Mobility: Static, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Step()
+	pos := nw.MSPositions(nil)
+	for i, p := range pos {
+		if p != nw.HomePoints()[i] {
+			t.Fatal("static node moved away from home")
+		}
+	}
+}
+
+func TestMobilityConfinement(t *testing.T) {
+	p := testParams()
+	nw, err := New(Config{Params: p, Mobility: IID, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := nw.Sampler.Kernel().Support()/nw.F() + 1e-9
+	for trial := 0; trial < 5; trial++ {
+		nw.Step()
+		pos := nw.MSPositions(nil)
+		for i, pt := range pos {
+			if d := geom.Dist(pt, nw.HomePoints()[i]); d > limit {
+				t.Fatalf("node %d at distance %v from home, limit %v", i, d, limit)
+			}
+		}
+	}
+}
+
+func TestWalkMobility(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Mobility: Walk, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Step()
+	// Walk must also stay within the kernel support.
+	limit := nw.Sampler.Kernel().Support()/nw.F() + 1e-9
+	for i, pt := range nw.MSPositions(nil) {
+		if d := geom.Dist(pt, nw.HomePoints()[i]); d > limit {
+			t.Fatalf("walk node %d escaped support: %v", i, d)
+		}
+	}
+}
+
+func TestBSPlacements(t *testing.T) {
+	for _, placement := range []BSPlacement{Matched, Uniform, Grid} {
+		nw, err := New(Config{Params: testParams(), BSPlacement: placement, Seed: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", placement, err)
+		}
+		if nw.NumBS() != testParams().NumBS() {
+			t.Errorf("%v: NumBS = %d", placement, nw.NumBS())
+		}
+		if len(nw.BSCluster) != nw.NumBS() {
+			t.Errorf("%v: BSCluster len = %d", placement, len(nw.BSCluster))
+		}
+	}
+}
+
+func TestGridPlacementIsRegular(t *testing.T) {
+	p := scaling.Params{N: 256, Alpha: 0.25, K: 0.5, M: 1, R: 0}
+	nw, err := New(Config{Params: p, BSPlacement: Grid, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pairwise distances between distinct grid BSs should be at
+	// least one grid cell apart (no duplicates).
+	for i := 0; i < nw.NumBS(); i++ {
+		for j := i + 1; j < nw.NumBS(); j++ {
+			if geom.Dist(nw.BSPos[i], nw.BSPos[j]) < 1e-9 {
+				t.Fatalf("grid BSs %d and %d coincide", i, j)
+			}
+		}
+	}
+}
+
+func TestMatchedPlacementNearClusters(t *testing.T) {
+	p := scaling.Params{N: 2048, Alpha: 0.25, K: 0.6, Phi: 0, M: 0.2, R: 0.2}
+	nw, err := New(Config{Params: p, BSPlacement: Matched, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every matched BS must be within cluster radius + kernel excursion
+	// of some cluster center.
+	limit := p.ClusterRadius() + nw.Sampler.Kernel().Support()/nw.F() + 1e-9
+	for j, y := range nw.BSPos {
+		best := math.Inf(1)
+		for _, c := range nw.Placement.ClusterCenters {
+			if d := geom.Dist(y, c); d < best {
+				best = d
+			}
+		}
+		if best > limit {
+			t.Fatalf("matched BS %d at distance %v from nearest cluster, limit %v", j, best, limit)
+		}
+	}
+}
+
+func TestNoInfrastructure(t *testing.T) {
+	p := testParams()
+	p.K = -1 // BS-free
+	nw, err := New(Config{Params: p, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumBS() != 0 {
+		t.Errorf("BS-free network has %d BSs", nw.NumBS())
+	}
+}
+
+func TestClusterMembers(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := nw.MSClusterMembers()
+	total := 0
+	for _, members := range ms {
+		total += len(members)
+	}
+	if total != nw.NumMS() {
+		t.Errorf("MS cluster members total %d, want %d", total, nw.NumMS())
+	}
+	bs := nw.BSClusterMembers()
+	total = 0
+	for _, members := range bs {
+		total += len(members)
+	}
+	if total != nw.NumBS() {
+		t.Errorf("BS cluster members total %d, want %d", total, nw.NumBS())
+	}
+}
+
+func TestEtaLazy(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := nw.Eta()
+	e2 := nw.Eta()
+	if e1 != e2 {
+		t.Error("Eta should be cached")
+	}
+	if e1.Eta(0) <= 0 {
+		t.Error("eta(0) should be positive")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Matched.String() != "matched" || Uniform.String() != "uniform" || Grid.String() != "grid" {
+		t.Error("BSPlacement strings wrong")
+	}
+	if IID.String() != "iid" || Walk.String() != "walk" || Static.String() != "static" {
+		t.Error("MobilityKind strings wrong")
+	}
+	if BSPlacement(9).String() == "" || MobilityKind(9).String() == "" {
+		t.Error("unknown enum should still print")
+	}
+}
+
+func TestRemoveBS(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := nw.NumBS()
+	if err := nw.RemoveBS(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.NumBS(); got != k-k/2 && got != k/2 {
+		t.Errorf("after 50%% outage: %d of %d BSs", got, k)
+	}
+	if len(nw.BSCluster) != nw.NumBS() {
+		t.Errorf("BSCluster length %d != %d", len(nw.BSCluster), nw.NumBS())
+	}
+}
+
+func TestRemoveBSKeepsAtLeastOne(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.RemoveBS(0.999, 1); err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumBS() < 1 {
+		t.Error("all BSs removed")
+	}
+}
+
+func TestRemoveBSErrors(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.RemoveBS(-0.1, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := nw.RemoveBS(1, 1); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	if err := nw.RemoveBS(0, 1); err != nil {
+		t.Errorf("zero fraction should be a no-op: %v", err)
+	}
+}

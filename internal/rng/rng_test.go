@@ -1,0 +1,87 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(42).Derive("mobility").Rand()
+	b := New(42).Derive("mobility").Rand()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed and label must give identical streams")
+		}
+	}
+}
+
+func TestLabelsIndependent(t *testing.T) {
+	root := New(42)
+	a := root.Derive("mobility")
+	b := root.Derive("traffic")
+	if a.Uint64() == b.Uint64() {
+		t.Error("different labels should give different states")
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Error("different seeds should give different states")
+	}
+}
+
+func TestDeriveNDistinct(t *testing.T) {
+	root := New(7).Derive("nodes")
+	seen := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		s := root.DeriveN("node", i).Uint64()
+		if j, ok := seen[s]; ok {
+			t.Fatalf("DeriveN collision between %d and %d", i, j)
+		}
+		seen[s] = i
+	}
+}
+
+func TestDeriveChainOrderMatters(t *testing.T) {
+	root := New(3)
+	ab := root.Derive("a").Derive("b").Uint64()
+	ba := root.Derive("b").Derive("a").Uint64()
+	if ab == ba {
+		t.Error("derivation order should matter")
+	}
+}
+
+func TestStreamUniformity(t *testing.T) {
+	r := New(99).Derive("uniformity").Rand()
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniform stream = %v, want ~0.5", mean)
+	}
+}
+
+func TestDeriveNStatisticallyIndependent(t *testing.T) {
+	// First draw of consecutive per-node streams should not correlate.
+	root := New(5)
+	var prev float64
+	var corr, va, vb float64
+	const n = 10000
+	draws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		draws[i] = root.DeriveN("node", i).Rand().Float64() - 0.5
+	}
+	for i := 1; i < n; i++ {
+		prev = draws[i-1]
+		corr += prev * draws[i]
+		va += prev * prev
+		vb += draws[i] * draws[i]
+	}
+	r := corr / math.Sqrt(va*vb)
+	if math.Abs(r) > 0.05 {
+		t.Errorf("lag-1 correlation of per-node first draws = %v", r)
+	}
+}

@@ -1,0 +1,188 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/linkcap"
+)
+
+// maxSampledPairs caps the exact pair enumeration in group capacity
+// sums; larger products are estimated by uniform pair sampling.
+const maxSampledPairs = 4096
+
+// groupCapMSMS returns the total MS-MS link capacity between node
+// groups A and B at transmission range rt:
+// sum over i in A, j in B, i != j of mu(home_i, home_j).
+// When |A|*|B| exceeds maxSampledPairs the sum is estimated by sampling
+// pairs uniformly, which keeps evaluation near-linear for dense cells.
+func groupCapMSMS(a *linkcap.Analytic, homes []geom.Point, groupA, groupB []int, rt float64, rnd *rand.Rand) float64 {
+	na, nb := len(groupA), len(groupB)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	total := na * nb
+	if total <= maxSampledPairs {
+		sum := 0.0
+		for _, i := range groupA {
+			for _, j := range groupB {
+				if i == j {
+					continue
+				}
+				sum += a.MSMSAt(geom.Dist(homes[i], homes[j]), rt)
+			}
+		}
+		return sum
+	}
+	sum := 0.0
+	samples := maxSampledPairs
+	valid := 0
+	for s := 0; s < samples; s++ {
+		i := groupA[rnd.Intn(na)]
+		j := groupB[rnd.Intn(nb)]
+		if i == j {
+			continue
+		}
+		valid++
+		sum += a.MSMSAt(geom.Dist(homes[i], homes[j]), rt)
+	}
+	if valid == 0 {
+		return 0
+	}
+	return sum / float64(valid) * float64(total)
+}
+
+// groupCapMSBS returns the total MS-BS access capacity between a group
+// of MSs (by home-point) and one BS, capped at the BS's unit wireless
+// bandwidth: the BS can at most exchange Theta(1) traffic in unit time
+// (protocol model, as used in Lemma 8).
+func groupCapMSBS(a *linkcap.Analytic, homes []geom.Point, ms []int, bs geom.Point, rt float64, rnd *rand.Rand) float64 {
+	n := len(ms)
+	if n == 0 {
+		return 0
+	}
+	if n <= maxSampledPairs {
+		sum := 0.0
+		for _, i := range ms {
+			sum += a.MSBSAt(geom.Dist(homes[i], bs), rt)
+			if sum >= 1 {
+				return 1
+			}
+		}
+		return sum
+	}
+	sum := 0.0
+	for s := 0; s < maxSampledPairs; s++ {
+		i := ms[rnd.Intn(n)]
+		sum += a.MSBSAt(geom.Dist(homes[i], bs), rt)
+	}
+	est := sum / maxSampledPairs * float64(n)
+	if est > 1 {
+		est = 1
+	}
+	return est
+}
+
+// cellMembersOf buckets ids by the grid cell containing their point.
+func cellMembersOf(g geom.Grid, pts []geom.Point) [][]int {
+	members := make([][]int, g.NumCells())
+	for i, p := range pts {
+		c := g.CellIndexOf(p)
+		members[c] = append(members[c], i)
+	}
+	return members
+}
+
+// cellEdge is a directed squarelet adjacency used as a load key.
+type cellEdge struct {
+	from, to int
+}
+
+// rowColPath walks the scheme-A route from cell (c1, r1) to cell
+// (c2, r2): first horizontally along the row, then vertically along the
+// column, taking the short way around the torus on each axis. It calls
+// visit for every directed cell step (including the final self-edge for
+// in-cell delivery) and returns false early if visit does.
+func rowColPath(g geom.Grid, c1, r1, c2, r2 int, visit func(from, to int) bool) {
+	cur := g.Index(c1, r1)
+	dc := g.ColSteps(c1, c2)
+	stepC := 1
+	if dc < 0 {
+		stepC = -1
+		dc = -dc
+	}
+	col, row := c1, r1
+	for s := 0; s < dc; s++ {
+		col += stepC
+		next := g.Index(col, row)
+		if !visit(cur, next) {
+			return
+		}
+		cur = next
+	}
+	dr := g.RowSteps(r1, r2)
+	stepR := 1
+	if dr < 0 {
+		stepR = -1
+		dr = -dr
+	}
+	for s := 0; s < dr; s++ {
+		row += stepR
+		next := g.Index(col, row)
+		if !visit(cur, next) {
+			return
+		}
+		cur = next
+	}
+	// Final in-cell delivery hop.
+	visit(cur, cur)
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// bottleneckRate returns the largest rate lambda such that edges with
+// capacity/load below lambda carry at most frac of the total load. With
+// frac = 0 this is the strict minimum ratio (the exact sustainable rate
+// for the fixed routing); a small positive frac discards the
+// finite-size tail of unlucky sparse cells, matching the paper's
+// with-high-probability statements, which tolerate a vanishing fraction
+// of deviant squarelets (Lemma 1 concentration).
+func bottleneckRate(ratios, loads []float64, frac float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	if frac <= 0 {
+		min := math.Inf(1)
+		for _, r := range ratios {
+			if r < min {
+				min = r
+			}
+		}
+		return min
+	}
+	idx := make([]int, len(ratios))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ratios[idx[a]] < ratios[idx[b]] })
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	budget := frac * total
+	acc := 0.0
+	for _, i := range idx {
+		acc += loads[i]
+		if acc > budget {
+			return ratios[i]
+		}
+	}
+	return ratios[idx[len(idx)-1]]
+}

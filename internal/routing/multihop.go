@@ -1,0 +1,118 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/interference"
+	"hybridcap/internal/network"
+	"hybridcap/internal/scheduler"
+	"hybridcap/internal/traffic"
+)
+
+// GridMultihop is static multi-hop transport over a cell tessellation:
+// nodes are treated at their home-points, traffic is forwarded
+// row-then-column through contiguous cells, and cells are activated by
+// a constant-group TDMA schedule (one transmission per active cell).
+//
+// With cell side Theta(sqrt(log n / n)) it is the Gupta-Kumar static
+// baseline; with cell side Theta(sqrt(gamma(n))) = sqrt(log m / m) it
+// is the BS-free transport of the non-uniformly dense regime, whose
+// capacity Corollary 3 pins at Theta(1/(n RT)).
+type GridMultihop struct {
+	// Side is the cell side; it must be positive. Use
+	// ConnectivitySide or ClusterConnectivitySide for the standard
+	// choices.
+	Side float64
+	// Delta is the guard factor; negative selects the default.
+	Delta float64
+}
+
+// ConnectivitySide returns the Gupta-Kumar critical cell side
+// sqrt(2 log n / n) for a network of n uniform nodes.
+func ConnectivitySide(n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return math.Sqrt(2 * math.Log(float64(n)) / float64(n))
+}
+
+// ClusterConnectivitySide returns the cell side sqrt((16+beta)*gamma(n))
+// used in the non-uniformly dense regime (Lemma 10 with the Lemma 1
+// tessellation constant, beta = 1).
+func ClusterConnectivitySide(gamma float64) float64 {
+	return math.Sqrt(17 * gamma)
+}
+
+// Name implements Scheme.
+func (s GridMultihop) Name() string { return "gridMultihop" }
+
+// Evaluate implements Scheme.
+func (s GridMultihop) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation, error) {
+	if err := validate(nw, tr); err != nil {
+		return nil, err
+	}
+	if s.Side <= 0 || math.IsNaN(s.Side) {
+		return nil, fmt.Errorf("routing: grid multihop needs a positive cell side, got %g", s.Side)
+	}
+	delta := s.Delta
+	if delta < 0 {
+		delta = interference.DefaultDelta
+	}
+	g := geom.NewGrid(s.Side)
+	homes := nw.HomePoints()
+	members := cellMembersOf(g, homes)
+
+	// TDMA over cells: a transmission spans at most the diagonal of two
+	// adjacent cells, sqrt(5)*side; cells closer than the guard distance
+	// conflict.
+	rt := math.Sqrt(5) * g.CellW()
+	minSep := (2 + delta) * rt
+	centers := make([]geom.Point, g.NumCells())
+	for idx := range centers {
+		centers[idx] = g.Center(g.ColRow(idx))
+	}
+	sched, err := scheduler.ColorCells(centers, minSep)
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	duty := sched.DutyCycle()
+
+	loads := make([]float64, g.NumCells())
+	ev := &Evaluation{Detail: map[string]float64{}}
+	for src, dst := range tr.DestOf {
+		c1, r1 := g.CellOf(homes[src])
+		c2, r2 := g.CellOf(homes[dst])
+		ok := true
+		rowColPath(g, c1, r1, c2, r2, func(from, to int) bool {
+			if len(members[to]) == 0 {
+				ok = false
+				return false
+			}
+			// The forwarding transmission is performed by the sending
+			// cell.
+			loads[from]++
+			return true
+		})
+		if !ok {
+			ev.Failures++
+		}
+	}
+	maxLoad := 0.0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if maxLoad == 0 {
+		return nil, fmt.Errorf("routing: grid multihop routed no traffic")
+	}
+	ev.Lambda = duty / maxLoad
+	ev.Bottleneck = "cell-airtime"
+	ev.Detail["cells"] = float64(g.NumCells())
+	ev.Detail["tdmaGroups"] = float64(sched.NumGroups)
+	ev.Detail["maxCellLoad"] = maxLoad
+	ev.Detail["rt"] = rt
+	return finish(ev), nil
+}

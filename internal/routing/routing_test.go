@@ -1,0 +1,384 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/traffic"
+)
+
+// buildNet constructs a network and permutation traffic for tests.
+func buildNet(t *testing.T, p scaling.Params, seed uint64) (*network.Network, *traffic.Pattern) {
+	t.Helper()
+	return buildNetPlaced(t, p, seed, 0)
+}
+
+// buildNetPlaced allows choosing the BS placement. Scaling-law sweeps
+// use Grid placement: Theorem 6 proves it capacity-equivalent, and it
+// removes the finite-size Binomial noise in per-squarelet BS counts
+// that otherwise distorts fitted slopes at small k.
+func buildNetPlaced(t *testing.T, p scaling.Params, seed uint64, bs network.BSPlacement) (*network.Network, *traffic.Pattern) {
+	t.Helper()
+	nw, err := network.New(network.Config{Params: p, Seed: seed, BSPlacement: bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.NewPermutation(p.N, rng.New(seed).Derive("traffic").Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, tr
+}
+
+func uniformParams(n int, alpha, k, phi float64) scaling.Params {
+	return scaling.Params{N: n, Alpha: alpha, K: k, Phi: phi, M: 1, R: 0}
+}
+
+// fitSlope returns the least-squares slope of log(y) against log(x).
+func fitSlope(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+func TestSchemeABasic(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(1024, 0.25, 0.5, 0), 1)
+	ev, err := SchemeA{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Failures > 0 {
+		t.Fatalf("scheme A failures: %d", ev.Failures)
+	}
+	if ev.Lambda <= 0 || math.IsInf(ev.Lambda, 0) {
+		t.Fatalf("lambda = %v", ev.Lambda)
+	}
+	if ev.Bottleneck != "relay" {
+		t.Errorf("bottleneck = %q", ev.Bottleneck)
+	}
+}
+
+// Theorem 3 / E3: scheme A throughput scales like 1/f(n) = n^-alpha.
+func TestSchemeAScalesAsInverseF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	alpha := 0.3
+	var ns, lambdas []float64
+	for _, n := range []int{1024, 2048, 4096, 8192, 16384} {
+		nw, tr := buildNet(t, uniformParams(n, alpha, 0.5, 0), 2)
+		ev, err := SchemeA{}.Evaluate(nw, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Failures > 0 {
+			t.Fatalf("n=%d: %d failures", n, ev.Failures)
+		}
+		ns = append(ns, float64(n))
+		lambdas = append(lambdas, ev.Lambda)
+	}
+	slope := fitSlope(ns, lambdas)
+	if math.Abs(slope-(-alpha)) > 0.15 {
+		t.Errorf("scheme A slope = %v, want ~ %v", slope, -alpha)
+	}
+}
+
+func TestSchemeBBasic(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(1024, 0.25, 0.5, 0.5), 3)
+	ev, err := SchemeB{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Lambda <= 0 {
+		t.Fatalf("lambda = %v (failures %d)", ev.Lambda, ev.Failures)
+	}
+}
+
+func TestSchemeBNeedsBS(t *testing.T) {
+	p := uniformParams(256, 0.25, 0.5, 0)
+	p.K = -1
+	nw, tr := buildNet(t, p, 4)
+	if _, err := (SchemeB{}).Evaluate(nw, tr); err == nil {
+		t.Error("scheme B without BSs should error")
+	}
+}
+
+// E4 shape: with ample backbone (phi large), scheme B throughput scales
+// like k/n.
+func TestSchemeBAccessScalesAsKOverN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	kExp := 0.6
+	var ns, lambdas []float64
+	for _, n := range []int{1024, 2048, 4096, 8192} {
+		nw, tr := buildNetPlaced(t, uniformParams(n, 0.25, kExp, 1.0), 5, network.Grid)
+		ev, err := SchemeB{}.Evaluate(nw, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Failures > 0 {
+			t.Fatalf("n=%d: %d failures", n, ev.Failures)
+		}
+		if ev.Bottleneck != "access" {
+			t.Errorf("n=%d: bottleneck %q, want access", n, ev.Bottleneck)
+		}
+		ns = append(ns, float64(n))
+		lambdas = append(lambdas, ev.Lambda)
+	}
+	slope := fitSlope(ns, lambdas)
+	if math.Abs(slope-(kExp-1)) > 0.15 {
+		t.Errorf("scheme B access slope = %v, want ~ %v", slope, kExp-1)
+	}
+}
+
+// With a starved backbone (phi very negative), scheme B must be
+// backbone-bottlenecked and scale like k^2 c/n = n^(K+phi-1).
+func TestSchemeBBackboneScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	kExp, phi := 0.6, -0.5
+	var ns, lambdas []float64
+	for _, n := range []int{1024, 2048, 4096, 8192, 16384} {
+		sum := 0.0
+		const seeds = 3
+		for seed := uint64(0); seed < seeds; seed++ {
+			nw, tr := buildNetPlaced(t, uniformParams(n, 0.25, kExp, phi), 6+seed, network.Grid)
+			ev, err := SchemeB{}.Evaluate(nw, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Bottleneck != "backbone" {
+				t.Errorf("n=%d: bottleneck %q, want backbone", n, ev.Bottleneck)
+			}
+			sum += ev.Lambda
+		}
+		ns = append(ns, float64(n))
+		lambdas = append(lambdas, sum/seeds)
+	}
+	slope := fitSlope(ns, lambdas)
+	want := kExp + phi - 1
+	if math.Abs(slope-want) > 0.15 {
+		t.Errorf("scheme B backbone slope = %v, want ~ %v", slope, want)
+	}
+}
+
+func TestSchemeBClusterGrouping(t *testing.T) {
+	p := scaling.Params{N: 4096, Alpha: 0.45, K: 0.6, Phi: 0.6, M: 0.25, R: 0.4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nw, tr := buildNet(t, p, 7)
+	ev, err := SchemeB{GroupBy: ByCluster}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Lambda <= 0 {
+		t.Fatalf("cluster-grouped scheme B lambda = %v (failures %d, detail %v)", ev.Lambda, ev.Failures, ev.Detail)
+	}
+}
+
+func TestSchemeCBasic(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(2048, 0.25, 0.5, 0.5), 8)
+	ev, err := SchemeC{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Lambda <= 0 {
+		t.Fatalf("lambda = %v", ev.Lambda)
+	}
+	if ev.Detail["tdmaGroups"] < 1 {
+		t.Error("no TDMA groups reported")
+	}
+}
+
+func TestSchemeCNeedsBS(t *testing.T) {
+	p := uniformParams(256, 0.25, 0.5, 0)
+	p.K = -1
+	nw, tr := buildNet(t, p, 9)
+	if _, err := (SchemeC{}).Evaluate(nw, tr); err == nil {
+		t.Error("scheme C without BSs should error")
+	}
+}
+
+// Theorem 9 shape: scheme C access throughput ~ k/n.
+func TestSchemeCScalesAsKOverN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	kExp := 0.6
+	var ns, lambdas []float64
+	for _, n := range []int{1024, 2048, 4096, 8192} {
+		nw, tr := buildNetPlaced(t, uniformParams(n, 0.25, kExp, 1.0), 10, network.Grid)
+		ev, err := SchemeC{}.Evaluate(nw, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, float64(n))
+		lambdas = append(lambdas, ev.Lambda)
+	}
+	slope := fitSlope(ns, lambdas)
+	if math.Abs(slope-(kExp-1)) > 0.2 {
+		t.Errorf("scheme C slope = %v, want ~ %v", slope, kExp-1)
+	}
+}
+
+func TestGridMultihopBasic(t *testing.T) {
+	p := uniformParams(2048, 0.25, 0.5, 0)
+	nw, tr := buildNet(t, p, 11)
+	side := ConnectivitySide(p.N)
+	ev, err := GridMultihop{Side: side}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Failures > 0 {
+		t.Fatalf("failures %d with connectivity-critical side", ev.Failures)
+	}
+	if ev.Lambda <= 0 {
+		t.Fatalf("lambda = %v", ev.Lambda)
+	}
+}
+
+func TestGridMultihopNeedsSide(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(256, 0.25, 0.5, 0), 12)
+	if _, err := (GridMultihop{}).Evaluate(nw, tr); err == nil {
+		t.Error("zero side should error")
+	}
+}
+
+// Gupta-Kumar shape: static multihop scales like ~ 1/sqrt(n log n),
+// i.e. slope about -0.5 ignoring the log factor.
+func TestGridMultihopGuptaKumarScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	var ns, lambdas []float64
+	for _, n := range []int{1024, 2048, 4096, 8192, 16384} {
+		p := uniformParams(n, 0.25, 0.5, 0)
+		nw, tr := buildNet(t, p, 13)
+		ev, err := GridMultihop{Side: ConnectivitySide(n)}.Evaluate(nw, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Failures > 0 {
+			t.Fatalf("n=%d: %d failures", n, ev.Failures)
+		}
+		ns = append(ns, float64(n))
+		lambdas = append(lambdas, ev.Lambda)
+	}
+	slope := fitSlope(ns, lambdas)
+	if slope > -0.4 || slope < -0.75 {
+		t.Errorf("static multihop slope = %v, want ~ -0.5 .. -0.6", slope)
+	}
+}
+
+func TestTwoHopRelayFullMobility(t *testing.T) {
+	// alpha = 0: mobility spans the network; two-hop must work with a
+	// healthy constant rate.
+	nw, tr := buildNet(t, uniformParams(1024, 0, 0.5, 0), 14)
+	ev, err := TwoHopRelay{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Failures > 0 {
+		t.Fatalf("failures %d under full mobility", ev.Failures)
+	}
+	if ev.Lambda <= 0 {
+		t.Fatalf("lambda = %v", ev.Lambda)
+	}
+}
+
+// Grossglauser-Tse shape: under full mobility, two-hop throughput is
+// Theta(1): the fitted slope over n must be near zero.
+func TestTwoHopRelayConstantThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	var ns, lambdas []float64
+	for _, n := range []int{512, 1024, 2048, 4096} {
+		nw, tr := buildNet(t, uniformParams(n, 0, 0.5, 0), 15)
+		ev, err := TwoHopRelay{}.Evaluate(nw, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Failures > 0 {
+			t.Fatalf("n=%d: %d failures", n, ev.Failures)
+		}
+		ns = append(ns, float64(n))
+		lambdas = append(lambdas, ev.Lambda)
+	}
+	slope := fitSlope(ns, lambdas)
+	if math.Abs(slope) > 0.25 {
+		t.Errorf("two-hop slope = %v, want ~ 0", slope)
+	}
+}
+
+// Lemma 4's phenomenon: with restricted mobility most pairs have no
+// common relay, so two-hop collapses while scheme A keeps working.
+func TestTwoHopRelayCollapsesUnderRestrictedMobility(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(4096, 0.4, 0.5, 0), 16)
+	ev, err := TwoHopRelay{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Failures == 0 {
+		t.Fatal("expected unroutable pairs under restricted mobility")
+	}
+	if ev.Lambda != 0 {
+		t.Errorf("lambda = %v, want 0 with failures", ev.Lambda)
+	}
+	evA, err := SchemeA{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evA.Failures > 0 || evA.Lambda <= 0 {
+		t.Errorf("scheme A should still work: lambda=%v failures=%d", evA.Lambda, evA.Failures)
+	}
+}
+
+func TestValidateRejectsMismatchedTraffic(t *testing.T) {
+	nw, _ := buildNet(t, uniformParams(256, 0.25, 0.5, 0), 17)
+	bad := &traffic.Pattern{DestOf: []int{1, 0}}
+	if _, err := (SchemeA{}).Evaluate(nw, bad); err == nil {
+		t.Error("mismatched traffic accepted")
+	}
+	if _, err := (SchemeA{}).Evaluate(nil, bad); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestEvaluationDetailPresent(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(512, 0.25, 0.5, 0.5), 18)
+	ev, err := SchemeB{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"lambdaAccess", "lambdaBackbone", "groups"} {
+		if _, ok := ev.Detail[key]; !ok {
+			t.Errorf("missing detail %q", key)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	schemes := []Scheme{SchemeA{}, SchemeB{}, SchemeC{}, GridMultihop{Side: 0.1}, TwoHopRelay{}}
+	seen := map[string]bool{}
+	for _, s := range schemes {
+		name := s.Name()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate scheme name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,79 @@
+// Package routing implements the paper's communication schemes and the
+// baselines it builds on, each as a load/capacity evaluator:
+//
+//   - Scheme A (Definition 11): squarelet row-then-column multi-hop over
+//     home-point relays — the mobility-based transport achieving
+//     Theta(1/f(n)).
+//   - Scheme B (Definition 12): three-phase transport through the
+//     infrastructure (MS -> BSs in its group, wired backbone, BSs ->
+//     destination) achieving Theta(min(k^2 c/n, k/n)).
+//   - Scheme C (Definition 13): hexagonal cells with TDMA and an
+//     uplink/downlink split, for the trivial-mobility regime.
+//   - GridMultihop: static multi-hop over a connectivity-critical grid
+//     (the Gupta-Kumar baseline, and with cell side sqrt(gamma) the
+//     weak-mobility BS-free transport of Corollary 3).
+//   - TwoHopRelay: the Grossglauser-Tse baseline, which only works when
+//     mobility spans the network.
+//
+// Each scheme routes a permutation traffic pattern at unit per-node
+// rate, accumulates load on every constrained resource (wireless cell
+// edges, BS air interfaces, wired backbone edges), and reports the
+// largest sustainable per-node rate lambda together with the binding
+// bottleneck.
+package routing
+
+import (
+	"fmt"
+
+	"hybridcap/internal/network"
+	"hybridcap/internal/traffic"
+)
+
+// Evaluation reports the outcome of evaluating a scheme.
+type Evaluation struct {
+	// Lambda is the largest sustainable per-node rate.
+	Lambda float64
+	// Bottleneck names the binding constraint ("relay", "access",
+	// "backbone", ...).
+	Bottleneck string
+	// Failures counts source-destination pairs the scheme could not
+	// route at all (e.g. an empty relay squarelet, or no common relay
+	// for two-hop). A scheme with failures cannot serve the traffic
+	// matrix: Lambda is reported as 0, with diagnostics retained.
+	Failures int
+	// Detail carries named intermediate quantities for reporting.
+	Detail map[string]float64
+}
+
+// Scheme evaluates a routing scheme against a network and a traffic
+// pattern.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Evaluate computes the sustainable per-node rate.
+	Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation, error)
+}
+
+func validate(nw *network.Network, tr *traffic.Pattern) error {
+	if nw == nil || tr == nil {
+		return fmt.Errorf("routing: nil network or traffic")
+	}
+	if tr.Len() != nw.NumMS() {
+		return fmt.Errorf("routing: traffic over %d nodes but network has %d MSs", tr.Len(), nw.NumMS())
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("routing: %w", err)
+	}
+	return nil
+}
+
+// finish normalizes an evaluation: a scheme that failed to route pairs
+// reports Lambda 0.
+func finish(ev *Evaluation) *Evaluation {
+	if ev.Failures > 0 {
+		ev.Detail["lambdaIfFailuresIgnored"] = ev.Lambda
+		ev.Lambda = 0
+		ev.Bottleneck = "unroutable-pairs"
+	}
+	return ev
+}

@@ -1,0 +1,212 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"hybridcap/internal/backbone"
+	"hybridcap/internal/geom"
+	"hybridcap/internal/linkcap"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/traffic"
+)
+
+// GroupBy selects how scheme B groups MSs with the BSs that serve them.
+type GroupBy int
+
+// Grouping modes. BySquarelet is Definition 12's constant-area
+// tessellation (the uniformly dense regime); ByCluster replaces
+// squarelets with clusters, the modification used in the proof of
+// Theorem 7 for the weak-mobility regime.
+const (
+	BySquarelet GroupBy = iota + 1
+	ByCluster
+)
+
+// String implements fmt.Stringer.
+func (g GroupBy) String() string {
+	switch g {
+	case BySquarelet:
+		return "squarelet"
+	case ByCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("GroupBy(%d)", int(g))
+	}
+}
+
+// SchemeB is the optimal infrastructure routing scheme of Definition 12,
+// in three phases: (I) the source MS relays its traffic to all BSs in
+// its group, (II) those BSs forward over the wired backbone to the BSs
+// of the destination group, (III) which deliver to the destination MS.
+// Theorem 5 (strong mobility) and Theorem 7 (weak mobility, with
+// clusters as groups) show it sustains Theta(min(k^2 c/n, k/n)).
+type SchemeB struct {
+	// GroupBy selects squarelet (default) or cluster grouping.
+	GroupBy GroupBy
+	// Cells is the number of squarelet cells per side for BySquarelet;
+	// zero selects 4 (16 constant-area squarelets).
+	Cells int
+	// AccessRT overrides the MS-BS transmission range. Zero selects the
+	// S* range cT/sqrt(n) for squarelet grouping and the subnet-optimal
+	// r*sqrt(m/n) of Table I for cluster grouping.
+	AccessRT float64
+	// CT is the constant in the default S* range.
+	CT float64
+}
+
+// Name implements Scheme.
+func (s SchemeB) Name() string { return "schemeB" }
+
+// Evaluate implements Scheme.
+func (s SchemeB) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation, error) {
+	if err := validate(nw, tr); err != nil {
+		return nil, err
+	}
+	if nw.NumBS() == 0 {
+		return nil, fmt.Errorf("routing: scheme B requires base stations")
+	}
+	groupBy := s.GroupBy
+	if groupBy == 0 {
+		groupBy = BySquarelet
+	}
+
+	var msGroups, bsGroups [][]int
+	var groupOfMS []int
+	switch groupBy {
+	case BySquarelet:
+		cells := s.Cells
+		if cells <= 0 {
+			cells = defaultSquareletSide(nw)
+		}
+		g := geom.NewGridCells(cells)
+		msGroups = cellMembersOf(g, nw.HomePoints())
+		bsGroups = cellMembersOf(g, nw.BSPos)
+		groupOfMS = make([]int, nw.NumMS())
+		for i, h := range nw.HomePoints() {
+			groupOfMS[i] = g.CellIndexOf(h)
+		}
+	case ByCluster:
+		msGroups = nw.MSClusterMembers()
+		bsGroups = nw.BSClusterMembers()
+		groupOfMS = make([]int, nw.NumMS())
+		copy(groupOfMS, nw.Placement.ClusterOf)
+	default:
+		return nil, fmt.Errorf("routing: unknown grouping %v", groupBy)
+	}
+
+	a := linkcap.NewAnalytic(nw, s.CT)
+	rt := s.AccessRT
+	if rt <= 0 {
+		rt = defaultAccessRT(nw, groupBy, a)
+	}
+
+	ev := &Evaluation{Detail: map[string]float64{}}
+
+	// Phase I & III: per-group air-interface accounting. Each source
+	// loads its group once (uplink), each destination once (downlink);
+	// the group's service rate is the summed, per-BS-capped MS-BS
+	// capacity (Lemma 9 machinery with the Lemma 8 cap).
+	rnd := rng.New(0xB).Derive("schemeB").Rand()
+	groupLoad := make([]float64, len(msGroups))
+	for src, dst := range tr.DestOf {
+		groupLoad[groupOfMS[src]]++
+		groupLoad[groupOfMS[dst]]++
+	}
+	groupService := make([]float64, len(msGroups))
+	for g := range msGroups {
+		if groupLoad[g] == 0 {
+			continue
+		}
+		for _, b := range bsGroups[g] {
+			groupService[g] += groupCapMSBS(a, nw.HomePoints(), msGroups[g], nw.BSPos[b], rt, rnd)
+		}
+	}
+	lambdaAccess := math.Inf(1)
+	for g := range msGroups {
+		if groupLoad[g] == 0 {
+			continue
+		}
+		if groupService[g] <= 0 {
+			ev.Failures += int(groupLoad[g])
+			continue
+		}
+		if r := groupService[g] / groupLoad[g]; r < lambdaAccess {
+			lambdaAccess = r
+		}
+	}
+	if math.IsInf(lambdaAccess, 1) && ev.Failures == 0 {
+		return nil, fmt.Errorf("routing: scheme B found no loaded groups")
+	}
+
+	// Phase II: wired backbone feasibility at unit per-pair rate.
+	bb, err := backbone.New(nw.NumBS(), nw.Cfg.Params.BandwidthC())
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	for src, dst := range tr.DestOf {
+		gs, gd := groupOfMS[src], groupOfMS[dst]
+		if gs == gd {
+			continue // same group: no backbone involvement
+		}
+		if len(bsGroups[gs]) == 0 || len(bsGroups[gd]) == 0 {
+			continue // already counted as an access failure
+		}
+		if err := bb.AddGroupFlow(bsGroups[gs], bsGroups[gd], 1); err != nil {
+			return nil, fmt.Errorf("routing: backbone flow %d->%d: %w", gs, gd, err)
+		}
+	}
+	lambdaBackbone := bb.SustainableScale()
+
+	ev.Detail["lambdaAccess"] = lambdaAccess
+	ev.Detail["lambdaBackbone"] = lambdaBackbone
+	ev.Detail["groups"] = float64(len(msGroups))
+	ev.Detail["accessRT"] = rt
+	if lambdaAccess <= lambdaBackbone {
+		ev.Lambda = lambdaAccess
+		ev.Bottleneck = "access"
+	} else {
+		ev.Lambda = lambdaBackbone
+		ev.Bottleneck = "backbone"
+	}
+	return finish(ev), nil
+}
+
+// defaultSquareletSide picks the largest constant tessellation (up to
+// 4x4, Definition 12 only requires constant element area) whose every
+// squarelet contains at least one BS. At the asymptotic scale every
+// choice works w.h.p. (k = omega(1) BSs per constant-area squarelet);
+// at finite n a too-fine grid leaves squarelets BS-less.
+func defaultSquareletSide(nw *network.Network) int {
+	for side := 4; side >= 2; side-- {
+		g := geom.NewGridCells(side)
+		counts := make([]int, g.NumCells())
+		for _, y := range nw.BSPos {
+			counts[g.CellIndexOf(y)]++
+		}
+		ok := true
+		for _, c := range counts {
+			if c == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return side
+		}
+	}
+	return 1
+}
+
+// defaultAccessRT picks the Table-I optimal access transmission range
+// for the grouping mode.
+func defaultAccessRT(nw *network.Network, groupBy GroupBy, a *linkcap.Analytic) float64 {
+	if groupBy == ByCluster {
+		p := nw.Cfg.Params
+		m := float64(p.NumClusters())
+		n := float64(p.N)
+		return p.ClusterRadius() * math.Sqrt(m/n)
+	}
+	return a.RT()
+}

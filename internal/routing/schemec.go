@@ -1,0 +1,133 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"hybridcap/internal/backbone"
+	"hybridcap/internal/geom"
+	"hybridcap/internal/interference"
+	"hybridcap/internal/network"
+	"hybridcap/internal/scheduler"
+	"hybridcap/internal/traffic"
+)
+
+// SchemeC is the optimal routing & scheduling scheme of Definition 13
+// for the trivial-mobility regime: the area is divided into hexagonal
+// cells, each with a BS at (near) its center; cells are arranged into
+// non-interfering TDMA groups activated in rotation; inside an active
+// cell, MSs access the BS in TDMA with the bandwidth split into
+// symmetric uplink and downlink channels; inter-cell traffic rides the
+// wired backbone. Theorem 9 shows it achieves
+// Theta(min(k^2 c/n, k/n)).
+type SchemeC struct {
+	// Delta is the protocol-model guard factor; negative selects the
+	// default.
+	Delta float64
+}
+
+// Name implements Scheme.
+func (s SchemeC) Name() string { return "schemeC" }
+
+// Evaluate implements Scheme.
+func (s SchemeC) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation, error) {
+	if err := validate(nw, tr); err != nil {
+		return nil, err
+	}
+	k := nw.NumBS()
+	if k == 0 {
+		return nil, fmt.Errorf("routing: scheme C requires base stations")
+	}
+	delta := s.Delta
+	if delta < 0 {
+		delta = interference.DefaultDelta
+	}
+
+	// One hexagonal cell per BS (Definition 13 places a BS at each cell
+	// center; we invert: tessellate to ~k cells and serve each cell by
+	// the nearest BS).
+	hex := geom.NewHexGridCells(k)
+	centers := make([]geom.Point, hex.NumCells())
+	cellBS := make([]int, hex.NumCells())
+	for idx := range centers {
+		centers[idx] = hex.Center(hex.ColRow(idx))
+		cellBS[idx] = nearestBS(nw.BSPos, centers[idx])
+	}
+
+	// TDMA grouping: cells conflict when a transmission in one can reach
+	// into another's guard zone. With in-cell range RT equal to the cell
+	// side, centers closer than (2+Delta)*RT + 2*RT conflict.
+	minSep := (4 + delta) * hex.Side()
+	sched, err := scheduler.ColorCells(centers, minSep)
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	duty := sched.DutyCycle()
+
+	// Access accounting: uplink load = sources homed in the cell,
+	// downlink load = destinations homed in the cell; each direction
+	// gets half the active-slot bandwidth.
+	upLoad := make([]float64, hex.NumCells())
+	downLoad := make([]float64, hex.NumCells())
+	homes := nw.HomePoints()
+	for src, dst := range tr.DestOf {
+		upLoad[hex.CellIndexOf(homes[src])]++
+		downLoad[hex.CellIndexOf(homes[dst])]++
+	}
+	lambdaAccess := math.Inf(1)
+	for c := range centers {
+		for _, load := range []float64{upLoad[c], downLoad[c]} {
+			if load == 0 {
+				continue
+			}
+			if r := duty / 2 / load; r < lambdaAccess {
+				lambdaAccess = r
+			}
+		}
+	}
+	if math.IsInf(lambdaAccess, 1) {
+		return nil, fmt.Errorf("routing: scheme C found no loaded cells")
+	}
+
+	// Backbone between the serving BSs of source and destination cells.
+	bb, err := backbone.New(k, nw.Cfg.Params.BandwidthC())
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	for src, dst := range tr.DestOf {
+		bsS := cellBS[hex.CellIndexOf(homes[src])]
+		bsD := cellBS[hex.CellIndexOf(homes[dst])]
+		if bsS == bsD {
+			continue
+		}
+		if err := bb.AddLoad(bsS, bsD, 1); err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
+	}
+	lambdaBackbone := bb.SustainableScale()
+
+	ev := &Evaluation{Detail: map[string]float64{
+		"lambdaAccess":   lambdaAccess,
+		"lambdaBackbone": lambdaBackbone,
+		"cells":          float64(hex.NumCells()),
+		"tdmaGroups":     float64(sched.NumGroups),
+	}}
+	if lambdaAccess <= lambdaBackbone {
+		ev.Lambda = lambdaAccess
+		ev.Bottleneck = "access"
+	} else {
+		ev.Lambda = lambdaBackbone
+		ev.Bottleneck = "backbone"
+	}
+	return finish(ev), nil
+}
+
+func nearestBS(bs []geom.Point, at geom.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for j, y := range bs {
+		if d := geom.Dist2(y, at); d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,160 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/linkcap"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/spatial"
+	"hybridcap/internal/traffic"
+)
+
+// TwoHopRelay is the Grossglauser-Tse baseline: each packet takes at
+// most two wireless hops, source -> relay -> destination, with the
+// relay role spread over every node that can meet both endpoints. When
+// mobility spans the whole network (f = Theta(1)) it sustains Theta(1)
+// per node; once mobility is restricted (f -> infinity) most pairs have
+// no common relay and the scheme collapses — the phenomenon that forces
+// the Theta(f) hops of scheme A (Lemma 4).
+type TwoHopRelay struct {
+	// CT is the constant in the S* range; zero selects the default.
+	CT float64
+	// MaxRelays caps the relay set evaluated per pair (they are sampled
+	// uniformly beyond the cap); zero selects 256.
+	MaxRelays int
+}
+
+// Name implements Scheme.
+func (s TwoHopRelay) Name() string { return "twoHopRelay" }
+
+// Evaluate implements Scheme.
+func (s TwoHopRelay) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation, error) {
+	if err := validate(nw, tr); err != nil {
+		return nil, err
+	}
+	maxRelays := s.MaxRelays
+	if maxRelays <= 0 {
+		maxRelays = 256
+	}
+	a := linkcap.NewAnalytic(nw, s.CT)
+	homes := nw.HomePoints()
+	ix := spatial.New(homes, a.Reach())
+	rnd := rng.New(0x2).Derive("twohop").Rand()
+
+	ev := &Evaluation{Detail: map[string]float64{}}
+	nodeLoad := make([]float64, nw.NumMS())
+	lambdaPairs := math.Inf(1)
+	reach := a.Reach()
+	for src, dst := range tr.DestOf {
+		hs, hd := homes[src], homes[dst]
+		direct := a.MSMS(geom.Dist(hs, hd))
+
+		// Candidate relays: nodes whose home-point can meet both ends.
+		var relays []int
+		ix.ForEachWithin(hs, reach, func(id int) bool {
+			if id != src && id != dst && geom.Dist(homes[id], hd) < reach {
+				relays = append(relays, id)
+			}
+			return true
+		})
+		scale := 1.0
+		if len(relays) > maxRelays {
+			// Sample a subset; scale the aggregate up accordingly.
+			scale = float64(len(relays)) / float64(maxRelays)
+			for i := 0; i < maxRelays; i++ {
+				j := i + rnd.Intn(len(relays)-i)
+				relays[i], relays[j] = relays[j], relays[i]
+			}
+			relays = relays[:maxRelays]
+		}
+		pairCap := direct
+		var weights []float64
+		wsum := 0.0
+		for _, r := range relays {
+			w := math.Min(a.MSMS(geom.Dist(hs, homes[r])), a.MSMS(geom.Dist(homes[r], hd))) / 2
+			weights = append(weights, w)
+			wsum += w
+		}
+		pairCap += wsum * scale
+		if pairCap <= 0 {
+			ev.Failures++
+			continue
+		}
+		if pairCap < lambdaPairs {
+			lambdaPairs = pairCap
+		}
+		// Load accounting at unit rate: the pair's traffic is split over
+		// the direct link and relays in proportion to their capacity.
+		total := direct + wsum*scale
+		nodeLoad[src]++
+		nodeLoad[dst]++
+		for i, r := range relays {
+			nodeLoad[r] += 2 * (weights[i] * scale / total)
+		}
+	}
+
+	// Node service: expected fraction of time a node is usefully
+	// scheduled, estimated as its aggregate link capacity, capped at 1
+	// (Lemma 3 lower-bounds it by a constant in uniformly dense
+	// networks).
+	lambdaNodes := math.Inf(1)
+	for i := 0; i < nw.NumMS(); i++ {
+		if nodeLoad[i] == 0 {
+			continue
+		}
+		service := nodeServiceRate(a, ix, homes, i, rnd)
+		if service <= 0 {
+			ev.Failures++
+			continue
+		}
+		if r := service / nodeLoad[i]; r < lambdaNodes {
+			lambdaNodes = r
+		}
+	}
+
+	ev.Detail["lambdaPairs"] = lambdaPairs
+	ev.Detail["lambdaNodes"] = lambdaNodes
+	if math.IsInf(lambdaPairs, 1) && math.IsInf(lambdaNodes, 1) {
+		return nil, fmt.Errorf("routing: two-hop relay routed no traffic")
+	}
+	if lambdaPairs <= lambdaNodes {
+		ev.Lambda = lambdaPairs
+		ev.Bottleneck = "pair-capacity"
+	} else {
+		ev.Lambda = lambdaNodes
+		ev.Bottleneck = "node-airtime"
+	}
+	return finish(ev), nil
+}
+
+// nodeServiceRate estimates sum_j mu(i, j) over neighbors, sampling
+// beyond a cap, clipped to the unit channel bandwidth.
+func nodeServiceRate(a *linkcap.Analytic, ix *spatial.Index, homes []geom.Point, i int, rnd interface{ Intn(int) int }) float64 {
+	var neighbors []int
+	ix.ForEachWithin(homes[i], a.Reach(), func(id int) bool {
+		if id != i {
+			neighbors = append(neighbors, id)
+		}
+		return true
+	})
+	if len(neighbors) == 0 {
+		return 0
+	}
+	const maxProbe = 512
+	sum := 0.0
+	if len(neighbors) <= maxProbe {
+		for _, j := range neighbors {
+			sum += a.MSMS(geom.Dist(homes[i], homes[j]))
+		}
+	} else {
+		for s := 0; s < maxProbe; s++ {
+			j := neighbors[rnd.Intn(len(neighbors))]
+			sum += a.MSMS(geom.Dist(homes[i], homes[j]))
+		}
+		sum = sum / maxProbe * float64(len(neighbors))
+	}
+	return math.Min(1, sum)
+}

@@ -1,0 +1,67 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzOrderAlgebra(f *testing.F) {
+	f.Add(0.5, 1.0, -0.25, 0.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-1.0, 2.0, 1.0, -2.0)
+	f.Fuzz(func(t *testing.T, e1, l1, e2, l2 float64) {
+		for _, v := range []float64{e1, l1, e2, l2} {
+			if math.IsNaN(v) || math.Abs(v) > 100 {
+				t.Skip()
+			}
+		}
+		a, b := Order{e1, l1}, Order{e2, l2}
+		// Antisymmetry.
+		if a.Cmp(b) != -b.Cmp(a) {
+			t.Fatalf("Cmp not antisymmetric: %v vs %v", a, b)
+		}
+		// Lattice consistency: Min <= Max.
+		if Min(a, b).Cmp(Max(a, b)) > 0 {
+			t.Fatalf("Min > Max for %v, %v", a, b)
+		}
+		// Add is Max.
+		if a.Add(b) != Max(a, b) {
+			t.Fatalf("Add != Max for %v, %v", a, b)
+		}
+		// Mul/Div inverse.
+		back := a.Mul(b).Div(b)
+		if math.Abs(back.E-a.E) > 1e-6 || math.Abs(back.L-a.L) > 1e-6 {
+			t.Fatalf("Mul/Div not inverse: %v -> %v", a, back)
+		}
+	})
+}
+
+func FuzzParamsDerived(f *testing.F) {
+	f.Add(1024, 0.3, 0.6, 0.5, 0.4, 0.25)
+	f.Add(2, 0.0, -1.0, 0.0, 1.0, 0.0)
+	f.Fuzz(func(t *testing.T, n int, alpha, k, phi, m, r float64) {
+		p := Params{N: n, Alpha: alpha, K: k, Phi: phi, M: m, R: r}
+		if p.Validate() != nil {
+			t.Skip()
+		}
+		// Derived quantities of any valid point are finite and sane.
+		if p.F() < 1 {
+			t.Fatalf("%v: F = %v < 1", p, p.F())
+		}
+		if p.NumBS() < 0 {
+			t.Fatalf("%v: NumBS = %d", p, p.NumBS())
+		}
+		if c := p.NumClusters(); c < 1 || c > p.N {
+			t.Fatalf("%v: NumClusters = %d", p, c)
+		}
+		if g := p.Gamma(); g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("%v: Gamma = %v", p, g)
+		}
+		if g := p.GammaTilde(); g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("%v: GammaTilde = %v", p, g)
+		}
+		if idx := p.MobilityIndex(); idx <= 0 || math.IsInf(idx, 0) {
+			t.Fatalf("%v: MobilityIndex = %v", p, idx)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+// Package scaling provides the asymptotic-order algebra and the network
+// parameterization used throughout the paper: f(n) = n^alpha,
+// k = Theta(n^K), m = Theta(n^M), r = Theta(n^-R), and the derived
+// quantities gamma(n) = log(m)/m and gammaTilde(n) = r^2*log(n/m)/(n/m).
+package scaling
+
+import (
+	"fmt"
+	"math"
+)
+
+// Order represents an asymptotic order Theta(n^E * log(n)^L). It is the
+// standard polylogarithmic order lattice: comparisons are lexicographic
+// in (E, L), since any positive power of n dominates any power of log n.
+type Order struct {
+	E float64 // exponent of n
+	L float64 // exponent of log n
+}
+
+// Common orders.
+var (
+	One  = Order{0, 0} // Theta(1)
+	N    = Order{1, 0} // Theta(n)
+	LogN = Order{0, 1} // Theta(log n)
+)
+
+// Poly returns Theta(n^e).
+func Poly(e float64) Order { return Order{E: e} }
+
+// PolyLog returns Theta(n^e * log^l n).
+func PolyLog(e, l float64) Order { return Order{E: e, L: l} }
+
+// Mul returns the product order.
+func (o Order) Mul(p Order) Order { return Order{E: o.E + p.E, L: o.L + p.L} }
+
+// Div returns the quotient order.
+func (o Order) Div(p Order) Order { return Order{E: o.E - p.E, L: o.L - p.L} }
+
+// Pow returns o raised to the power x.
+func (o Order) Pow(x float64) Order { return Order{E: o.E * x, L: o.L * x} }
+
+// Sqrt returns the square root order.
+func (o Order) Sqrt() Order { return o.Pow(0.5) }
+
+// Inv returns the reciprocal order.
+func (o Order) Inv() Order { return Order{E: -o.E, L: -o.L} }
+
+// Cmp compares two orders asymptotically: -1 if o = o(p), 0 if
+// o = Theta(p), +1 if o = omega(p).
+func (o Order) Cmp(p Order) int {
+	const eps = 1e-12
+	switch {
+	case o.E < p.E-eps:
+		return -1
+	case o.E > p.E+eps:
+		return 1
+	case o.L < p.L-eps:
+		return -1
+	case o.L > p.L+eps:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsLittleO reports whether o = o(p) (strictly smaller).
+func (o Order) IsLittleO(p Order) bool { return o.Cmp(p) < 0 }
+
+// IsOmega reports whether o = omega(p) (strictly larger).
+func (o Order) IsOmega(p Order) bool { return o.Cmp(p) > 0 }
+
+// IsTheta reports whether o = Theta(p).
+func (o Order) IsTheta(p Order) bool { return o.Cmp(p) == 0 }
+
+// Min returns the asymptotically smaller of a and b.
+func Min(a, b Order) Order {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// Max returns the asymptotically larger of a and b. This is also the
+// order of the sum Theta(a) + Theta(b).
+func Max(a, b Order) Order {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// Add returns the order of the sum, which is the max.
+func (o Order) Add(p Order) Order { return Max(o, p) }
+
+// Eval evaluates the order's defining function n^E * ln(n)^L at a finite
+// n (natural log; constants are immaterial to orders).
+func (o Order) Eval(n float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return math.Pow(n, o.E) * math.Pow(math.Log(n), o.L)
+}
+
+// String implements fmt.Stringer, e.g. "Theta(n^0.5 log^-1 n)".
+func (o Order) String() string {
+	switch {
+	case o.E == 0 && o.L == 0:
+		return "Theta(1)"
+	case o.L == 0:
+		return fmt.Sprintf("Theta(n^%.4g)", o.E)
+	case o.E == 0:
+		return fmt.Sprintf("Theta(log^%.4g n)", o.L)
+	default:
+		return fmt.Sprintf("Theta(n^%.4g log^%.4g n)", o.E, o.L)
+	}
+}

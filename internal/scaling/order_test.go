@@ -1,0 +1,149 @@
+package scaling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderCmp(t *testing.T) {
+	cases := []struct {
+		a, b Order
+		want int
+	}{
+		{One, One, 0},
+		{N, One, 1},
+		{One, N, -1},
+		{Poly(0.5), Poly(0.5), 0},
+		{LogN, One, 1},
+		{One, LogN, -1},
+		{Poly(0.1), PolyLog(0, 100), 1}, // any n^eps beats any polylog
+		{PolyLog(0.5, -1), Poly(0.5), -1},
+		{PolyLog(-0.5, 1), Poly(-0.5), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrderAlgebra(t *testing.T) {
+	a := PolyLog(0.5, 1)
+	b := PolyLog(0.25, -0.5)
+	if got := a.Mul(b); got != (Order{0.75, 0.5}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Div(b); got != (Order{0.25, 1.5}) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := a.Pow(2); got != (Order{1, 2}) {
+		t.Errorf("Pow = %v", got)
+	}
+	if got := a.Sqrt(); got != (Order{0.25, 0.5}) {
+		t.Errorf("Sqrt = %v", got)
+	}
+	if got := a.Inv(); got != (Order{-0.5, -1}) {
+		t.Errorf("Inv = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := Poly(-0.5)
+	b := Poly(-0.25)
+	if Min(a, b) != a {
+		t.Error("Min should pick the smaller exponent")
+	}
+	if Max(a, b) != b {
+		t.Error("Max should pick the larger exponent")
+	}
+	if a.Add(b) != b {
+		t.Error("Add is asymptotic max")
+	}
+}
+
+func TestMulDivInverse(t *testing.T) {
+	f := func(e1, l1, e2, l2 float64) bool {
+		a := Order{clampExp(e1), clampExp(l1)}
+		b := Order{clampExp(e2), clampExp(l2)}
+		got := a.Mul(b).Div(b)
+		return math.Abs(got.E-a.E) < 1e-9 && math.Abs(got.L-a.L) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampExp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 8)
+}
+
+func TestCmpAntisymmetric(t *testing.T) {
+	f := func(e1, l1, e2, l2 float64) bool {
+		a := Order{clampExp(e1), clampExp(l1)}
+		b := Order{clampExp(e2), clampExp(l2)}
+		return a.Cmp(b) == -b.Cmp(a)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpMatchesEvalAtLargeN(t *testing.T) {
+	// For orders differing in the n-exponent, evaluation at a very large n
+	// must agree with the symbolic comparison.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a := Order{E: math.Round(rng.Float64()*8-4) / 4, L: math.Round(rng.Float64()*4-2) / 2}
+		b := Order{E: math.Round(rng.Float64()*8-4) / 4, L: math.Round(rng.Float64()*4-2) / 2}
+		c := a.Cmp(b)
+		if c == 0 {
+			continue
+		}
+		const n = 1e12
+		ra, rb := a.Eval(n), b.Eval(n)
+		if c < 0 && ra >= rb {
+			t.Fatalf("%v.Cmp(%v) = -1 but Eval %v >= %v", a, b, ra, rb)
+		}
+		if c > 0 && ra <= rb {
+			t.Fatalf("%v.Cmp(%v) = +1 but Eval %v <= %v", a, b, ra, rb)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	if got := One.Eval(1000); got != 1 {
+		t.Errorf("One.Eval = %v", got)
+	}
+	if got := N.Eval(1000); got != 1000 {
+		t.Errorf("N.Eval = %v", got)
+	}
+	if got := LogN.Eval(math.E * math.E); !almostEq(got, 2, 1e-12) {
+		t.Errorf("LogN.Eval(e^2) = %v", got)
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	cases := []struct {
+		o    Order
+		want string
+	}{
+		{One, "Theta(1)"},
+		{N, "Theta(n^1)"},
+		{LogN, "Theta(log^1 n)"},
+		{PolyLog(-0.5, 1), "Theta(n^-0.5 log^1 n)"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

@@ -1,0 +1,202 @@
+package scaling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params captures one point of the paper's parameter space, combining
+// the scaling exponents (Section II) with a concrete number of users n
+// at which to instantiate a finite network.
+//
+// All quantities are expressed on the unit torus after the normalization
+// of Definition 1: the pre-normalization side length f(n) = n^Alpha
+// means every constant physical distance becomes 1/f(n) after
+// normalization — in particular a node's mobility is confined to radius
+// Theta(1/f(n)) around its home-point.
+type Params struct {
+	// N is the number of mobile stations.
+	N int
+	// Alpha sets the network extension f(n) = n^Alpha. Alpha = 0 is
+	// the dense regime, Alpha = 1/2 the extended regime; values in
+	// (1/2, 1] are admitted for the trivial-mobility regime (see
+	// Validate).
+	Alpha float64
+	// K sets the number of base stations k = Theta(n^K), K in [0, 1].
+	K float64
+	// Phi sets the per-BS aggregate backbone bandwidth
+	// mu_c = k*c(n) = Theta(n^Phi); the per-edge wired bandwidth is
+	// c(n) = Theta(n^(Phi-K)).
+	Phi float64
+	// M sets the number of home-point clusters m = Theta(n^M).
+	// M close to 1 means no clustering (m = n).
+	M float64
+	// R sets the cluster radius r = Theta(n^-R), 0 <= R <= Alpha.
+	R float64
+}
+
+// Sentinel validation errors.
+var (
+	ErrBadN      = errors.New("scaling: N must be >= 2")
+	ErrBadAlpha  = errors.New("scaling: Alpha must be in [0, 1]")
+	ErrBadK      = errors.New("scaling: K must be in [0, 1]")
+	ErrBadM      = errors.New("scaling: M must be in [0, 1]")
+	ErrBadR      = errors.New("scaling: R must satisfy 0 <= R <= Alpha")
+	ErrOverlap   = errors.New("scaling: clusters must not overlap w.h.p. (require M - 2R < 0 or M = 1)")
+	ErrBSPerClus = errors.New("scaling: every cluster needs BSs w.h.p. (require K > M when K > 0)")
+)
+
+// Validate checks the assumptions of Section II. A Params value that
+// fails Validate is outside the paper's model and the theory does not
+// apply to it.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("%w (got %d)", ErrBadN, p.N)
+	}
+	// The paper's Remark 1 focuses on Alpha in [0, 1/2] (dense to
+	// extended). We additionally admit (1/2, 1]: the trivial-mobility
+	// regime of Section V-B is empty under Alpha <= 1/2 once clusters
+	// must not overlap (it needs Alpha > R + (1-M)/2 with R > M/2), so
+	// instantiating that regime requires the super-extended range.
+	if p.Alpha < 0 || p.Alpha > 1 {
+		return fmt.Errorf("%w (got %g)", ErrBadAlpha, p.Alpha)
+	}
+	// K < 0 is the convention for a BS-free network (k -> 0); any
+	// negative value is accepted and equivalent.
+	if p.K > 1 {
+		return fmt.Errorf("%w (got %g)", ErrBadK, p.K)
+	}
+	if p.M < 0 || p.M > 1 {
+		return fmt.Errorf("%w (got %g)", ErrBadM, p.M)
+	}
+	if p.R < 0 || p.R > p.Alpha {
+		return fmt.Errorf("%w (got R=%g, Alpha=%g)", ErrBadR, p.R, p.Alpha)
+	}
+	// m = n means no clusters are formed and the overlap condition is
+	// moot (Remark 3).
+	if p.M < 1 && p.M-2*p.R >= 0 {
+		return fmt.Errorf("%w (got M=%g, R=%g)", ErrOverlap, p.M, p.R)
+	}
+	if p.K > 0 && p.M < 1 && p.K <= p.M {
+		return fmt.Errorf("%w (got K=%g, M=%g)", ErrBSPerClus, p.K, p.M)
+	}
+	return nil
+}
+
+// WithN returns a copy of p at a different network size, for sweeps.
+func (p Params) WithN(n int) Params {
+	p.N = n
+	return p
+}
+
+func (p Params) nf() float64 { return float64(p.N) }
+
+// F returns the network extension f(n) = n^Alpha.
+func (p Params) F() float64 { return math.Pow(p.nf(), p.Alpha) }
+
+// NumBS returns the concrete number of base stations k = round(n^K).
+// K = 0 with Phi unset still yields one BS; use HasInfrastructure to
+// distinguish BS-free networks.
+func (p Params) NumBS() int {
+	return int(math.Round(math.Pow(p.nf(), p.K)))
+}
+
+// HasInfrastructure reports whether the network has any base stations.
+// The BS-free rows of Table I are modeled as K < 0 (conventionally -1).
+func (p Params) HasInfrastructure() bool { return p.K >= 0 }
+
+// NumClusters returns m = round(n^M), at least 1.
+func (p Params) NumClusters() int {
+	m := int(math.Round(math.Pow(p.nf(), p.M)))
+	if m < 1 {
+		m = 1
+	}
+	if m > p.N {
+		m = p.N
+	}
+	return m
+}
+
+// ClusterRadius returns r = n^-R.
+func (p Params) ClusterRadius() float64 { return math.Pow(p.nf(), -p.R) }
+
+// BandwidthC returns the per-edge wired bandwidth c(n) = n^(Phi-K).
+func (p Params) BandwidthC() float64 { return math.Pow(p.nf(), p.Phi-p.K) }
+
+// MuC returns the aggregate per-BS backbone bandwidth
+// mu_c = k*c(n) ~ n^Phi.
+func (p Params) MuC() float64 { return math.Pow(p.nf(), p.Phi) }
+
+// Gamma returns gamma(n) = log(m)/m, the square of the critical
+// transmission range for connectivity among m uniformly placed points
+// (Gupta–Kumar criterion applied to cluster centers).
+func (p Params) Gamma() float64 {
+	m := float64(p.NumClusters())
+	if m < 2 {
+		m = 2
+	}
+	return math.Log(m) / m
+}
+
+// GammaTilde returns gammaTilde(n) = r^2 * log(n/m)/(n/m), the analogous
+// in-cluster quantity (Section V).
+func (p Params) GammaTilde() float64 {
+	nm := p.nf() / float64(p.NumClusters())
+	if nm < 2 {
+		nm = 2
+	}
+	r := p.ClusterRadius()
+	return r * r * math.Log(nm) / nm
+}
+
+// MobilityIndex returns f(n)*sqrt(gamma(n)), the quantity whose limit
+// decides uniform density (Theorem 1): o(1) means uniformly dense.
+func (p Params) MobilityIndex() float64 { return p.F() * math.Sqrt(p.Gamma()) }
+
+// SubnetMobilityIndex returns f(n)*sqrt(gammaTilde(n)), the quantity
+// separating weak from trivial mobility (Section V).
+func (p Params) SubnetMobilityIndex() float64 {
+	return p.F() * math.Sqrt(p.GammaTilde())
+}
+
+// Derived asymptotic orders.
+
+// OrderF returns Theta(f(n)).
+func (p Params) OrderF() Order { return Poly(p.Alpha) }
+
+// OrderK returns Theta(k).
+func (p Params) OrderK() Order { return Poly(p.K) }
+
+// OrderM returns Theta(m).
+func (p Params) OrderM() Order { return Poly(p.M) }
+
+// OrderR returns Theta(r).
+func (p Params) OrderR() Order { return Poly(-p.R) }
+
+// OrderC returns Theta(c(n)).
+func (p Params) OrderC() Order { return Poly(p.Phi - p.K) }
+
+// OrderGamma returns Theta(gamma(n)) = Theta(log(m)/m) as a polylog
+// order. For M = 0 (constant m) the log factor degenerates; the order is
+// still reported as log(n)/1 per convention m = Theta(1).
+func (p Params) OrderGamma() Order {
+	if p.M == 0 {
+		return One
+	}
+	return PolyLog(-p.M, 1)
+}
+
+// OrderGammaTilde returns Theta(gammaTilde(n)).
+func (p Params) OrderGammaTilde() Order {
+	if p.M >= 1 {
+		return Poly(-2 * p.R)
+	}
+	return PolyLog(-2*p.R-(1-p.M), 1)
+}
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d alpha=%.3g K=%.3g phi=%.3g M=%.3g R=%.3g",
+		p.N, p.Alpha, p.K, p.Phi, p.M, p.R)
+}

@@ -1,0 +1,185 @@
+package scaling
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func validParams() Params {
+	return Params{N: 1024, Alpha: 0.25, K: 0.5, Phi: 0, M: 0.25, R: 0.2}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   error
+	}{
+		{"small n", func(p *Params) { p.N = 1 }, ErrBadN},
+		{"alpha negative", func(p *Params) { p.Alpha = -0.1 }, ErrBadAlpha},
+		{"alpha too big", func(p *Params) { p.Alpha = 1.2 }, ErrBadAlpha},
+		{"K too big", func(p *Params) { p.K = 1.5 }, ErrBadK},
+		{"M out of range", func(p *Params) { p.M = 1.2 }, ErrBadM},
+		{"R negative", func(p *Params) { p.R = -0.1 }, ErrBadR},
+		{"R above alpha", func(p *Params) { p.R = 0.3 }, ErrBadR},
+		{"overlapping clusters", func(p *Params) { p.M = 0.5; p.R = 0.25; p.Alpha = 0.3 }, ErrOverlap},
+		{"too few BSs per cluster", func(p *Params) { p.K = 0.2 }, ErrBSPerClus},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validParams()
+			c.mutate(&p)
+			err := p.Validate()
+			if !errors.Is(err, c.want) {
+				t.Errorf("Validate() = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestBSFreeParamsValid(t *testing.T) {
+	p := validParams()
+	p.K = -1 // BS-free convention
+	if err := p.Validate(); err != nil {
+		t.Errorf("BS-free params rejected: %v", err)
+	}
+	if p.NumBS() != 0 {
+		t.Errorf("NumBS = %d for BS-free params", p.NumBS())
+	}
+}
+
+func TestUnclusteredSkipsClusterChecks(t *testing.T) {
+	// M = 1 (m = n, no clusters formed) must not trip overlap or
+	// BS-per-cluster requirements.
+	p := Params{N: 1000, Alpha: 0.3, K: 0.5, M: 1, R: 0.1}
+	if err := p.Validate(); err != nil {
+		t.Errorf("unclustered params rejected: %v", err)
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := Params{N: 10000, Alpha: 0.25, K: 0.5, Phi: 0.25, M: 0.25, R: 0.1}
+	if got, want := p.F(), math.Pow(10000, 0.25); !almostEq(got, want, 1e-9) {
+		t.Errorf("F = %v, want %v", got, want)
+	}
+	if got := p.NumBS(); got != 100 {
+		t.Errorf("NumBS = %d, want 100", got)
+	}
+	if got := p.NumClusters(); got != 10 {
+		t.Errorf("NumClusters = %d, want 10", got)
+	}
+	if got, want := p.ClusterRadius(), math.Pow(10000, -0.1); !almostEq(got, want, 1e-9) {
+		t.Errorf("ClusterRadius = %v, want %v", got, want)
+	}
+	if got, want := p.BandwidthC(), math.Pow(10000, -0.25); !almostEq(got, want, 1e-9) {
+		t.Errorf("BandwidthC = %v, want %v", got, want)
+	}
+	if got, want := p.MuC(), math.Pow(10000, 0.25); !almostEq(got, want, 1e-9) {
+		t.Errorf("MuC = %v, want %v", got, want)
+	}
+}
+
+func TestMuCEqualsKTimesC(t *testing.T) {
+	p := Params{N: 4096, Alpha: 0.2, K: 0.6, Phi: -0.1, M: 0.3, R: 0.05}
+	kc := math.Pow(float64(p.N), p.K) * p.BandwidthC()
+	if !almostEq(kc, p.MuC(), 1e-6*p.MuC()) {
+		t.Errorf("k*c = %v, MuC = %v", kc, p.MuC())
+	}
+}
+
+func TestGamma(t *testing.T) {
+	p := Params{N: 10000, M: 0.5}
+	m := float64(p.NumClusters())
+	want := math.Log(m) / m
+	if got := p.Gamma(); !almostEq(got, want, 1e-12) {
+		t.Errorf("Gamma = %v, want %v", got, want)
+	}
+}
+
+func TestGammaSingleCluster(t *testing.T) {
+	p := Params{N: 100, M: 0}
+	if g := p.Gamma(); g <= 0 || math.IsNaN(g) {
+		t.Errorf("Gamma with m=1 should stay positive and finite, got %v", g)
+	}
+}
+
+func TestGammaTilde(t *testing.T) {
+	p := Params{N: 10000, M: 0.5, R: 0.1}
+	nm := float64(p.N) / float64(p.NumClusters())
+	r := p.ClusterRadius()
+	want := r * r * math.Log(nm) / nm
+	if got := p.GammaTilde(); !almostEq(got, want, 1e-12) {
+		t.Errorf("GammaTilde = %v, want %v", got, want)
+	}
+}
+
+func TestMobilityIndexMonotoneInAlpha(t *testing.T) {
+	// Larger networks (larger alpha) have weaker effective mobility.
+	base := Params{N: 65536, M: 0.5}
+	prev := -1.0
+	for _, a := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		p := base
+		p.Alpha = a
+		idx := p.MobilityIndex()
+		if idx <= prev {
+			t.Errorf("MobilityIndex not increasing at alpha=%v: %v <= %v", a, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestWithN(t *testing.T) {
+	p := validParams()
+	q := p.WithN(2048)
+	if q.N != 2048 || q.Alpha != p.Alpha {
+		t.Errorf("WithN gave %v", q)
+	}
+	if p.N != 1024 {
+		t.Error("WithN must not mutate the receiver")
+	}
+}
+
+func TestOrderGamma(t *testing.T) {
+	p := Params{N: 1000, M: 0.5}
+	want := PolyLog(-0.5, 1)
+	if got := p.OrderGamma(); got != want {
+		t.Errorf("OrderGamma = %v, want %v", got, want)
+	}
+	p.M = 0
+	if got := p.OrderGamma(); got != One {
+		t.Errorf("OrderGamma(M=0) = %v, want Theta(1)", got)
+	}
+}
+
+func TestOrderGammaTilde(t *testing.T) {
+	p := Params{N: 1000, M: 0.5, R: 0.1}
+	want := PolyLog(-0.2-0.5, 1)
+	if got := p.OrderGammaTilde(); got != want {
+		t.Errorf("OrderGammaTilde = %v, want %v", got, want)
+	}
+}
+
+func TestHasInfrastructure(t *testing.T) {
+	p := validParams()
+	if !p.HasInfrastructure() {
+		t.Error("K=0.5 should have infrastructure")
+	}
+	p.K = -1
+	if p.HasInfrastructure() {
+		t.Error("K=-1 encodes a BS-free network")
+	}
+}
+
+func TestNumClustersClamped(t *testing.T) {
+	p := Params{N: 10, M: 1}
+	if got := p.NumClusters(); got != 10 {
+		t.Errorf("NumClusters = %d, want clamped to N", got)
+	}
+}

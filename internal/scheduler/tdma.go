@@ -1,0 +1,105 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridcap/internal/geom"
+)
+
+// CellSchedule is the TDMA grouping of scheme C (Definition 13): cells
+// are arranged into non-interfering groups activated round-robin, so
+// each cell is active a constant 1/NumGroups fraction of time. The
+// constant group count is guaranteed by the bounded degree of the cell
+// interference graph (the vertex-coloring fact cited in Theorem 9).
+type CellSchedule struct {
+	// GroupOf maps cell index -> group index.
+	GroupOf []int
+	// NumGroups is the number of TDMA groups (colors).
+	NumGroups int
+}
+
+// ColorCells greedily colors the conflict graph over cell centers in
+// which two cells interfere when their centers are closer than minSep.
+// Greedy coloring of a graph with maximum degree d uses at most d+1
+// colors, so for geometric conflict graphs the group count is a
+// constant independent of the number of cells.
+func ColorCells(centers []geom.Point, minSep float64) (*CellSchedule, error) {
+	n := len(centers)
+	if n == 0 {
+		return nil, fmt.Errorf("scheduler: no cells to color")
+	}
+	if minSep < 0 {
+		return nil, fmt.Errorf("scheduler: negative separation %g", minSep)
+	}
+	adj := make([][]int, n)
+	sep2 := minSep * minSep
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if geom.Dist2(centers[i], centers[j]) < sep2 {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	// Color in descending-degree order (Welsh–Powell) for fewer colors.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(adj[order[a]]) > len(adj[order[b]]) })
+
+	colorOf := make([]int, n)
+	for i := range colorOf {
+		colorOf[i] = -1
+	}
+	numColors := 0
+	for _, v := range order {
+		used := make(map[int]bool, len(adj[v]))
+		for _, u := range adj[v] {
+			if colorOf[u] >= 0 {
+				used[colorOf[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colorOf[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	return &CellSchedule{GroupOf: colorOf, NumGroups: numColors}, nil
+}
+
+// ActiveGroup returns the group scheduled in the given slot.
+func (s *CellSchedule) ActiveGroup(slot int) int {
+	return slot % s.NumGroups
+}
+
+// IsActive reports whether the cell is scheduled in the slot.
+func (s *CellSchedule) IsActive(cell, slot int) bool {
+	return s.GroupOf[cell] == s.ActiveGroup(slot)
+}
+
+// DutyCycle returns the fraction of time each cell is active.
+func (s *CellSchedule) DutyCycle() float64 {
+	return 1 / float64(s.NumGroups)
+}
+
+// Validate checks the coloring is proper for the given separation.
+func (s *CellSchedule) Validate(centers []geom.Point, minSep float64) error {
+	if len(centers) != len(s.GroupOf) {
+		return fmt.Errorf("scheduler: %d centers but %d colors", len(centers), len(s.GroupOf))
+	}
+	sep2 := minSep * minSep
+	for i := range centers {
+		for j := i + 1; j < len(centers); j++ {
+			if geom.Dist2(centers[i], centers[j]) < sep2 && s.GroupOf[i] == s.GroupOf[j] {
+				return fmt.Errorf("scheduler: conflicting cells %d and %d share group %d", i, j, s.GroupOf[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package scheduler
+
+import (
+	"testing"
+
+	"hybridcap/internal/geom"
+)
+
+func hexCenters(numCells int) []geom.Point {
+	h := geom.NewHexGridCells(numCells)
+	centers := make([]geom.Point, h.NumCells())
+	for i := range centers {
+		centers[i] = h.Center(h.ColRow(i))
+	}
+	return centers
+}
+
+func TestColorCellsProper(t *testing.T) {
+	centers := hexCenters(64)
+	minSep := 0.3
+	s, err := ColorCells(centers, minSep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(centers, minSep); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorCellsConstantGroups(t *testing.T) {
+	// For a fixed ratio of separation to cell spacing, the number of
+	// groups must not grow with the number of cells (Theorem 9's
+	// bounded-degree argument).
+	var prevGroups int
+	for _, cells := range []int{16, 64, 256} {
+		centers := hexCenters(cells)
+		// Separation ~ 3 cell diameters regardless of cell count.
+		g := geom.NewHexGridCells(cells)
+		minSep := 3 * g.Side()
+		s, err := ColorCells(centers, minSep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevGroups > 0 && s.NumGroups > 4*prevGroups {
+			t.Errorf("groups grew from %d to %d between sizes", prevGroups, s.NumGroups)
+		}
+		prevGroups = s.NumGroups
+		if s.NumGroups > 40 {
+			t.Errorf("%d cells need %d groups; expected a small constant", cells, s.NumGroups)
+		}
+	}
+}
+
+func TestColorCellsNoConflicts(t *testing.T) {
+	// Zero separation: nothing conflicts, one group suffices.
+	centers := hexCenters(25)
+	s, err := ColorCells(centers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumGroups != 1 {
+		t.Errorf("NumGroups = %d, want 1", s.NumGroups)
+	}
+	if s.DutyCycle() != 1 {
+		t.Errorf("DutyCycle = %v", s.DutyCycle())
+	}
+}
+
+func TestColorCellsErrors(t *testing.T) {
+	if _, err := ColorCells(nil, 0.1); err == nil {
+		t.Error("empty centers should error")
+	}
+	if _, err := ColorCells(hexCenters(4), -1); err == nil {
+		t.Error("negative separation should error")
+	}
+}
+
+func TestActiveGroupRoundRobin(t *testing.T) {
+	s := &CellSchedule{GroupOf: []int{0, 1, 2}, NumGroups: 3}
+	for slot := 0; slot < 9; slot++ {
+		if got := s.ActiveGroup(slot); got != slot%3 {
+			t.Errorf("ActiveGroup(%d) = %d", slot, got)
+		}
+	}
+	if !s.IsActive(1, 1) || s.IsActive(1, 0) {
+		t.Error("IsActive wrong")
+	}
+}
+
+func TestEveryCellGetsAirtime(t *testing.T) {
+	centers := hexCenters(36)
+	s, err := ColorCells(centers, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := make([]bool, len(centers))
+	for slot := 0; slot < s.NumGroups; slot++ {
+		for c := range centers {
+			if s.IsActive(c, slot) {
+				active[c] = true
+			}
+		}
+	}
+	for c, a := range active {
+		if !a {
+			t.Errorf("cell %d never active in a full rotation", c)
+		}
+	}
+}
+
+func TestValidateDetectsBadColoring(t *testing.T) {
+	centers := []geom.Point{{X: 0.1, Y: 0.1}, {X: 0.12, Y: 0.1}}
+	s := &CellSchedule{GroupOf: []int{0, 0}, NumGroups: 1}
+	if err := s.Validate(centers, 0.1); err == nil {
+		t.Error("conflicting same-group cells accepted")
+	}
+	if err := s.Validate(centers[:1], 0.1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

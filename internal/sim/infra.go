@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hybridcap/internal/geom"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/spatial"
+	"hybridcap/internal/traffic"
+)
+
+// InfraConfig parameterizes a packet-level infrastructure run: packets
+// go MS -> nearest in-range BS (uplink), ride the wired backbone for
+// one slot, and wait at the BS nearest to the destination's home-point
+// until the destination comes within range (downlink). This is the
+// time-domain counterpart of scheme B and exhibits the
+// infrastructure-mode property the paper's introduction cites: delay
+// does not grow with the source-destination distance.
+type InfraConfig struct {
+	// Lambda is the per-node injection rate (Bernoulli per slot).
+	Lambda float64
+	// Slots is the number of measured slots; Warmup runs first.
+	Slots, Warmup int
+	// RT is the MS-BS transmission range; zero selects
+	// 2*DefaultSimCT/sqrt(n) (BS access uses a slightly larger range
+	// constant; orders are unaffected).
+	RT float64
+	// UplinksPerBS caps how many uplink packets one BS absorbs per slot
+	// (its unit wireless bandwidth); zero selects 1.
+	UplinksPerBS int
+	// Seed drives packet injection.
+	Seed uint64
+}
+
+// InfraReport summarizes an infrastructure packet run.
+type InfraReport struct {
+	PacketReport
+	// MeanBackboneHops is the mean number of wired hops per delivered
+	// packet (always 1 on the complete BS graph, kept for generality).
+	MeanBackboneHops float64
+}
+
+type infraPacket struct {
+	dst  int32
+	born int32
+}
+
+// RunInfrastructure simulates scheme-B-style transport at packet level.
+// It mutates the network's mobility state.
+func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig) (*InfraReport, error) {
+	if nw == nil || tr == nil {
+		return nil, fmt.Errorf("sim: nil network or traffic")
+	}
+	if tr.Len() != nw.NumMS() {
+		return nil, fmt.Errorf("sim: traffic over %d nodes, network has %d", tr.Len(), nw.NumMS())
+	}
+	if nw.NumBS() == 0 {
+		return nil, fmt.Errorf("sim: infrastructure run needs base stations")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("sim: need positive slot count")
+	}
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("sim: lambda %g outside [0, 1]", cfg.Lambda)
+	}
+	n := nw.NumMS()
+	rt := cfg.RT
+	if rt <= 0 {
+		rt = 2 * DefaultSimCT / math.Sqrt(float64(n))
+	}
+	uplinks := cfg.UplinksPerBS
+	if uplinks <= 0 {
+		uplinks = 1
+	}
+	injRand := rng.New(cfg.Seed).Derive("inject-infra").Rand()
+
+	// Precompute the serving (home) BS of every MS: the BS nearest its
+	// home-point, where downlink packets wait.
+	bsIx := spatial.New(nw.BSPos, rt)
+	homeBS := make([]int32, n)
+	for i, h := range nw.HomePoints() {
+		j, _ := bsIx.Nearest(h, nil)
+		homeBS[i] = int32(j)
+	}
+
+	srcQ := make([][]infraPacket, n)           // at the source MS, waiting for uplink
+	transitQ := make([][]infraPacket, 0)       // one backbone slot of latency
+	downQ := make([][]infraPacket, nw.NumBS()) // waiting at the destination's BS
+	transitQ = append(transitQ, nil)
+
+	rep := &InfraReport{}
+	var delaySum float64
+	pos := make([]geom.Point, 0, n)
+	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {
+		measuring := slot >= cfg.Warmup
+		for i := 0; i < n; i++ {
+			if injRand.Float64() < cfg.Lambda {
+				srcQ[i] = append(srcQ[i], infraPacket{dst: int32(tr.DestOf[i]), born: int32(slot)})
+				if measuring {
+					rep.Injected++
+				}
+			}
+		}
+		nw.Step()
+		pos = nw.MSPositions(pos)
+
+		// Backbone: packets handed over last slot arrive at their
+		// destination BS queue now.
+		arriving := transitQ[0]
+		transitQ[0] = nil
+		for _, p := range arriving {
+			b := homeBS[p.dst]
+			downQ[b] = append(downQ[b], p)
+		}
+
+		// Uplink: each BS absorbs up to uplinks packets from MSs in
+		// range (TDMA within the cell, one transmission at a time).
+		msIx := spatial.New(pos, rt)
+		var handover []infraPacket
+		for b, y := range nw.BSPos {
+			budget := uplinks
+			msIx.ForEachWithin(y, rt, func(i int) bool {
+				for budget > 0 && len(srcQ[i]) > 0 {
+					handover = append(handover, srcQ[i][0])
+					srcQ[i] = srcQ[i][1:]
+					budget--
+				}
+				return budget > 0
+			})
+			_ = b
+		}
+		transitQ[0] = append(transitQ[0], handover...)
+
+		// Downlink: each BS delivers up to uplinks packets to
+		// destinations currently in range.
+		for b, y := range nw.BSPos {
+			budget := uplinks
+			q := downQ[b]
+			var rest []infraPacket
+			for _, p := range q {
+				if budget > 0 && geom.Dist(pos[p.dst], y) <= rt {
+					budget--
+					if measuring {
+						rep.Delivered++
+						delaySum += float64(slot - int(p.born))
+						rep.MeanBackboneHops++ // one wired hop per packet
+					}
+					continue
+				}
+				rest = append(rest, p)
+			}
+			downQ[b] = rest
+		}
+	}
+	if rep.Delivered > 0 {
+		rep.MeanDelay = delaySum / float64(rep.Delivered)
+		rep.MeanBackboneHops /= float64(rep.Delivered)
+	}
+	rep.DeliveredRate = float64(rep.Delivered) / float64(n) / float64(cfg.Slots)
+	backlog := 0
+	for i := range srcQ {
+		backlog += len(srcQ[i])
+	}
+	for b := range downQ {
+		backlog += len(downQ[b])
+	}
+	rep.BacklogPerNode = float64(backlog) / float64(n)
+	return rep, nil
+}

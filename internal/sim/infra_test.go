@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/traffic"
+)
+
+func infraParams(n int) scaling.Params {
+	return scaling.Params{N: n, Alpha: 0.15, K: 0.8, Phi: 1, M: 1}
+}
+
+func TestRunInfrastructureDelivers(t *testing.T) {
+	p := infraParams(512)
+	nw := simNet(t, p, 30, network.IID)
+	tr, err := traffic.NewPermutation(p.N, rng.New(30).Derive("traffic").Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: 0.002, Slots: 3000, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered == 0 {
+		t.Fatalf("nothing delivered: %+v", rep)
+	}
+	if rep.MeanBackboneHops != 1 {
+		t.Errorf("MeanBackboneHops = %v, want 1", rep.MeanBackboneHops)
+	}
+	if rep.MeanDelay <= 0 {
+		t.Errorf("MeanDelay = %v", rep.MeanDelay)
+	}
+}
+
+// The infrastructure path's delay must not grow with the network
+// extension, unlike the mobility-based transports: packets cross the
+// torus in one wired hop.
+func TestInfrastructureDelayFlatInAlpha(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two packet simulations")
+	}
+	delays := map[float64]float64{}
+	for _, alpha := range []float64{0.1, 0.3} {
+		p := scaling.Params{N: 512, Alpha: alpha, K: 0.8, Phi: 1, M: 1}
+		nw := simNet(t, p, 31, network.IID)
+		tr, err := traffic.NewPermutation(p.N, rng.New(31).Derive("traffic").Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: 0.001, Slots: 4000, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Delivered == 0 {
+			t.Fatalf("alpha=%v: nothing delivered", alpha)
+		}
+		delays[alpha] = rep.MeanDelay
+	}
+	// Delay should be in the same ballpark (within 4x), not scaled by
+	// f(0.3)/f(0.1) ~ n^0.2.
+	if delays[0.3] > 4*delays[0.1] {
+		t.Errorf("infrastructure delay grew with alpha: %v", delays)
+	}
+}
+
+func TestRunInfrastructureErrors(t *testing.T) {
+	p := infraParams(64)
+	nw := simNet(t, p, 32, network.IID)
+	tr, _ := traffic.NewPermutation(p.N, rng.New(32).Rand())
+	if _, err := RunInfrastructure(nil, tr, InfraConfig{Lambda: 0.1, Slots: 1}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: 0.1}); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: -1, Slots: 1}); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	bsFree := infraParams(64)
+	bsFree.K = -1
+	nwFree := simNet(t, bsFree, 32, network.IID)
+	if _, err := RunInfrastructure(nwFree, tr, InfraConfig{Lambda: 0.1, Slots: 1}); err == nil {
+		t.Error("BS-free network accepted")
+	}
+}
+
+func TestRunInfrastructureConservation(t *testing.T) {
+	p := infraParams(256)
+	nw := simNet(t, p, 33, network.IID)
+	tr, err := traffic.NewPermutation(p.N, rng.New(33).Derive("traffic").Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: 0.01, Slots: 800, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := rep.BacklogPerNode * float64(p.N)
+	total := float64(rep.Delivered) + queued
+	// Packets in the one-slot backbone transit are not counted in the
+	// backlog; allow that slack.
+	slack := float64(nw.NumBS()) + 1
+	if total < float64(rep.Injected)-slack || total > float64(rep.Injected)+slack {
+		t.Errorf("conservation violated: injected %d, delivered %d, queued %.1f",
+			rep.Injected, rep.Delivered, queued)
+	}
+}

@@ -1,0 +1,173 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hybridcap/internal/geom"
+)
+
+func randomPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func bruteWithin(pts []geom.Point, q geom.Point, r float64) []int {
+	var out []int
+	for i, p := range pts {
+		if geom.Dist(q, p) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 1)
+	ix := New(pts, 0.05)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		r := rng.Float64() * 0.3
+		got := ix.Within(q, r)
+		want := bruteWithin(pts, q, r)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Within(%v, %v) size %d, brute %d", trial, q, r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Within mismatch at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWithinLargeRadiusCoversAll(t *testing.T) {
+	pts := randomPoints(100, 3)
+	ix := New(pts, 0.1)
+	got := ix.Within(geom.Point{X: 0.5, Y: 0.5}, geom.MaxDist+0.01)
+	if len(got) != len(pts) {
+		t.Errorf("radius > MaxDist returned %d of %d points", len(got), len(pts))
+	}
+}
+
+func TestWithinWrapsTorus(t *testing.T) {
+	pts := []geom.Point{{X: 0.99, Y: 0.99}, {X: 0.5, Y: 0.5}}
+	ix := New(pts, 0.1)
+	got := ix.Within(geom.Point{X: 0.01, Y: 0.01}, 0.05)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("wrap query returned %v, want [0]", got)
+	}
+}
+
+func TestCountWithin(t *testing.T) {
+	pts := randomPoints(300, 4)
+	ix := New(pts, 0)
+	q := geom.Point{X: 0.3, Y: 0.7}
+	if got, want := ix.CountWithin(q, 0.2), len(bruteWithin(pts, q, 0.2)); got != want {
+		t.Errorf("CountWithin = %d, want %d", got, want)
+	}
+}
+
+func TestForEachWithinEarlyStop(t *testing.T) {
+	pts := randomPoints(100, 5)
+	ix := New(pts, 0)
+	calls := 0
+	ix.ForEachWithin(geom.Point{X: 0.5, Y: 0.5}, 1, func(int) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Errorf("early stop made %d calls, want 5", calls)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(200, 6)
+	ix := New(pts, 0.03)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		q := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		id, d := ix.Nearest(q, nil)
+		bestID, best := -1, math.Inf(1)
+		for i, p := range pts {
+			if dd := geom.Dist(q, p); dd < best {
+				best = dd
+				bestID = i
+			}
+		}
+		if id != bestID || math.Abs(d-best) > 1e-12 {
+			t.Fatalf("Nearest(%v) = (%d, %v), brute (%d, %v)", q, id, d, bestID, best)
+		}
+	}
+}
+
+func TestNearestWithSkip(t *testing.T) {
+	pts := []geom.Point{{X: 0.5, Y: 0.5}, {X: 0.6, Y: 0.5}}
+	ix := New(pts, 0.1)
+	id, _ := ix.Nearest(geom.Point{X: 0.5, Y: 0.5}, func(id int) bool { return id == 0 })
+	if id != 1 {
+		t.Errorf("Nearest with skip = %d, want 1", id)
+	}
+}
+
+func TestNearestAllSkipped(t *testing.T) {
+	pts := randomPoints(10, 8)
+	ix := New(pts, 0.2)
+	id, d := ix.Nearest(geom.Point{X: 0.1, Y: 0.1}, func(int) bool { return true })
+	if id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest all-skipped = (%d, %v), want (-1, +Inf)", id, d)
+	}
+}
+
+func TestNearestEmptyIndex(t *testing.T) {
+	ix := New(nil, 0.1)
+	id, _ := ix.Nearest(geom.Point{X: 0.5, Y: 0.5}, nil)
+	if id != -1 {
+		t.Errorf("Nearest on empty index = %d, want -1", id)
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	pts := randomPoints(50, 9)
+	ix := New(pts, 0.1)
+	moved := randomPoints(50, 10)
+	ix.Rebuild(moved)
+	q := moved[7]
+	found := false
+	ix.ForEachWithin(q, 1e-9, func(id int) bool {
+		if id == 7 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("Rebuild did not index moved points")
+	}
+}
+
+func TestNegativeRadius(t *testing.T) {
+	ix := New(randomPoints(10, 11), 0.1)
+	if got := ix.Within(geom.Point{}, -1); len(got) != 0 {
+		t.Errorf("negative radius returned %v", got)
+	}
+}
+
+func TestPointAccessor(t *testing.T) {
+	pts := randomPoints(5, 12)
+	ix := New(pts, 0.1)
+	if ix.Len() != 5 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if ix.Point(3) != pts[3] {
+		t.Error("Point accessor mismatch")
+	}
+}

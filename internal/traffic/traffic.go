@@ -1,0 +1,77 @@
+// Package traffic implements the uniform permutation traffic model of
+// Section II.B: n source-destination pairs at common rate lambda, chosen
+// so that every MS is both a source and a destination exactly once.
+// BSs only relay and never originate traffic.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern is a permutation traffic matrix: source i sends to DestOf[i].
+type Pattern struct {
+	// DestOf maps each source MS to its destination MS. It is a
+	// derangement: DestOf[i] != i for all i.
+	DestOf []int
+}
+
+// NewPermutation draws a uniform random derangement over n mobile
+// stations: a permutation with no fixed points, so no node is its own
+// destination. Requires n >= 2.
+func NewPermutation(n int, rnd *rand.Rand) (*Pattern, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 nodes, got %d", n)
+	}
+	perm := rnd.Perm(n)
+	// Repair fixed points by swapping with a cyclic neighbor; the result
+	// remains a permutation and loses its fixed points.
+	for i := 0; i < n; i++ {
+		if perm[i] == i {
+			j := (i + 1) % n
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	// A final pass: swapping can only move a fixed point, never create
+	// one at an earlier index, but verify to be safe.
+	for i := 0; i < n; i++ {
+		if perm[i] == i {
+			j := (i + 1) % n
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	return &Pattern{DestOf: perm}, nil
+}
+
+// Len returns the number of source-destination pairs.
+func (p *Pattern) Len() int { return len(p.DestOf) }
+
+// Validate checks the permutation-derangement invariants of the traffic
+// model: every node appears exactly once as a destination and never
+// sends to itself.
+func (p *Pattern) Validate() error {
+	seen := make([]bool, len(p.DestOf))
+	for src, dst := range p.DestOf {
+		if dst < 0 || dst >= len(p.DestOf) {
+			return fmt.Errorf("traffic: destination %d out of range", dst)
+		}
+		if dst == src {
+			return fmt.Errorf("traffic: node %d sends to itself", src)
+		}
+		if seen[dst] {
+			return fmt.Errorf("traffic: node %d is destination twice", dst)
+		}
+		seen[dst] = true
+	}
+	return nil
+}
+
+// SourceOf returns the inverse mapping: for each destination, its
+// source.
+func (p *Pattern) SourceOf() []int {
+	inv := make([]int, len(p.DestOf))
+	for src, dst := range p.DestOf {
+		inv[dst] = src
+	}
+	return inv
+}

@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"testing"
+
+	"hybridcap/internal/rng"
+)
+
+func TestNewPermutationValid(t *testing.T) {
+	r := rng.New(1).Rand()
+	for _, n := range []int{2, 3, 10, 1000} {
+		p, err := NewPermutation(n, r)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if p.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, p.Len())
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestNewPermutationTooSmall(t *testing.T) {
+	if _, err := NewPermutation(1, rng.New(2).Rand()); err == nil {
+		t.Error("n=1 should error")
+	}
+}
+
+func TestNoFixedPointsManySeeds(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p, err := NewPermutation(7, rng.New(seed).Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range p.DestOf {
+			if d == i {
+				t.Fatalf("seed %d: fixed point at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestSourceOfInverse(t *testing.T) {
+	p, err := NewPermutation(100, rng.New(3).Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.SourceOf()
+	for s, d := range p.DestOf {
+		if src[d] != s {
+			t.Fatalf("SourceOf[%d] = %d, want %d", d, src[d], s)
+		}
+	}
+}
+
+func TestValidateCatchesBadPatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		dest []int
+	}{
+		{"self send", []int{0, 2, 1}},
+		{"duplicate destination", []int{1, 1, 0}},
+		{"out of range", []int{1, 5, 0}},
+		{"negative", []int{1, -1, 0}},
+	}
+	for _, c := range cases {
+		p := &Pattern{DestOf: c.dest}
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestPermutationIsRandom(t *testing.T) {
+	a, _ := NewPermutation(50, rng.New(10).Rand())
+	b, _ := NewPermutation(50, rng.New(11).Rand())
+	same := 0
+	for i := range a.DestOf {
+		if a.DestOf[i] == b.DestOf[i] {
+			same++
+		}
+	}
+	if same == len(a.DestOf) {
+		t.Error("different seeds gave identical permutations")
+	}
+}

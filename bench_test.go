@@ -207,7 +207,10 @@ func BenchmarkAblationLinkCap(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	a := linkcap.NewAnalytic(nw, 0)
+	a, err := linkcap.NewAnalytic(nw, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	r := rng.New(6).Rand()
 	var worst float64
 	for i := 0; i < b.N; i++ {

@@ -6,6 +6,11 @@
 // Example:
 //
 //	capsim -n 4096 -alpha 0.3 -K 0.8 -phi 1 -scheme schemeB -placement grid
+//
+// Fault injection: -bs-outage / -edge-outage / -erasure install a
+// deterministic fault plan (seeded by -fault-seed) before evaluation,
+// and -outage-curve sweeps the BS outage fraction from 0 to 1 printing
+// the capacity-vs-outage curve for every selected scheme.
 package main
 
 import (
@@ -13,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"hybridcap/internal/capacity"
+	"hybridcap/internal/faults"
 	"hybridcap/internal/network"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/routing"
@@ -31,15 +38,20 @@ func main() {
 
 func run() error {
 	var (
-		n         = flag.Int("n", 4096, "number of mobile stations")
-		alpha     = flag.Float64("alpha", 0.3, "network extension exponent: f(n) = n^alpha")
-		kExp      = flag.Float64("K", 0.6, "BS count exponent: k = n^K (negative = no BSs)")
-		phi       = flag.Float64("phi", 1, "backbone exponent: k*c(n) = n^phi")
-		mExp      = flag.Float64("M", 1, "cluster count exponent: m = n^M (1 = uniform)")
-		rExp      = flag.Float64("R", 0, "cluster radius exponent: r = n^-R")
-		scheme    = flag.String("scheme", "best", "schemeA | schemeB | schemeBcluster | schemeC | gridMultihop | twoHop | best")
-		placement = flag.String("placement", "matched", "matched | uniform | grid")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		n           = flag.Int("n", 4096, "number of mobile stations")
+		alpha       = flag.Float64("alpha", 0.3, "network extension exponent: f(n) = n^alpha")
+		kExp        = flag.Float64("K", 0.6, "BS count exponent: k = n^K (negative = no BSs)")
+		phi         = flag.Float64("phi", 1, "backbone exponent: k*c(n) = n^phi")
+		mExp        = flag.Float64("M", 1, "cluster count exponent: m = n^M (1 = uniform)")
+		rExp        = flag.Float64("R", 0, "cluster radius exponent: r = n^-R")
+		scheme      = flag.String("scheme", "best", "schemeA | schemeB | schemeBcluster | schemeC | gridMultihop | twoHop | best")
+		placement   = flag.String("placement", "matched", "matched | uniform | grid")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		bsOutage    = flag.Float64("bs-outage", 0, "fraction of base stations failed (nested outage sets)")
+		edgeOutage  = flag.Float64("edge-outage", 0, "fraction of backbone edges failed")
+		erasure     = flag.Float64("erasure", 0, "per-slot wireless erasure probability (packet sims)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
+		outageCurve = flag.Bool("outage-curve", false, "sweep the BS outage fraction 0..1 and print the capacity curve")
 	)
 	flag.Parse()
 
@@ -58,8 +70,28 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown placement %q", *placement)
 	}
+	faultCfg := faults.Config{
+		Seed:               *faultSeed,
+		BSOutageFraction:   *bsOutage,
+		EdgeOutageFraction: *edgeOutage,
+		WirelessErasure:    *erasure,
+	}
+	if err := faultCfg.Validate(); err != nil {
+		return err
+	}
 
-	nw, err := network.New(network.Config{Params: p, Seed: *seed, BSPlacement: bsPlacement})
+	build := func(fc faults.Config) (*network.Network, error) {
+		cfg := network.Config{Params: p, Seed: *seed, BSPlacement: bsPlacement}
+		if fc.Active() {
+			plan, err := faults.New(fc)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Faults = plan
+		}
+		return network.New(cfg)
+	}
+	nw, err := build(faultCfg)
 	if err != nil {
 		return err
 	}
@@ -72,6 +104,11 @@ func run() error {
 	fmt.Printf("params:    %v\n", p)
 	fmt.Printf("instance:  k=%d m=%d f=%.3g r=%.3g c=%.4g\n",
 		nw.NumBS(), p.NumClusters(), p.F(), p.ClusterRadius(), p.BandwidthC())
+	if faultCfg.Active() {
+		fmt.Printf("faults:    bs-outage=%.2f edge-outage=%.2f erasure=%.2f seed=%d -> %d/%d BSs live\n",
+			faultCfg.BSOutageFraction, faultCfg.EdgeOutageFraction, faultCfg.WirelessErasure,
+			faultCfg.Seed, nw.NumLiveBS(), nw.NumBS())
+	}
 	fmt.Printf("regime:    %v (f*sqrt(gamma)=%.3g, f*sqrt(gammaTilde)=%.3g)\n",
 		regime, ind.MobilityIndex, ind.SubnetIndex)
 	fmt.Printf("theory:    capacity %v, optimal RT %v, %v\n",
@@ -91,14 +128,51 @@ func run() error {
 			fmt.Printf("%-14s error: %v\n", s.Name(), err)
 			continue
 		}
-		fmt.Printf("%-14s lambda=%.6g bottleneck=%s failures=%d\n",
-			s.Name(), ev.Lambda, ev.Bottleneck, ev.Failures)
+		fmt.Printf("%-14s lambda=%.6g bottleneck=%s failures=%d degraded=%d dropped=%d\n",
+			s.Name(), ev.Lambda, ev.Bottleneck, ev.Failures, ev.Degraded, ev.Dropped)
 		if ev.Lambda > best {
 			best = ev.Lambda
 		}
 	}
 	fmt.Printf("best measured lambda: %.6g (theory order evaluates to %.6g at n=%d)\n",
 		best, capacity.PerNodeCapacity(p).Eval(float64(p.N)), p.N)
+
+	if *outageCurve {
+		fmt.Println()
+		if err := printOutageCurve(build, faultCfg, tr, schemes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printOutageCurve sweeps the BS outage fraction with the other fault
+// knobs held fixed, printing one lambda column per scheme.
+func printOutageCurve(build func(faults.Config) (*network.Network, error), faultCfg faults.Config, tr *traffic.Pattern, schemes []routing.Scheme) error {
+	header := []string{"bs-outage"}
+	for _, s := range schemes {
+		header = append(header, s.Name())
+	}
+	fmt.Println("capacity vs BS outage fraction:")
+	fmt.Println(strings.Join(header, "\t"))
+	for _, q := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1} {
+		fc := faultCfg
+		fc.BSOutageFraction = q
+		nw, err := build(fc)
+		if err != nil {
+			return err
+		}
+		row := []string{fmt.Sprintf("%.2f", q)}
+		for _, s := range schemes {
+			ev, err := s.Evaluate(nw, tr)
+			if err != nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.6g", ev.Lambda))
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
 	return nil
 }
 

@@ -17,6 +17,8 @@
 //     SchemeB, SchemeC, GridMultihop, TwoHopRelay),
 //   - the theory: regime classification, Table-I capacities, optimal
 //     transmission ranges (Classify, PerNodeCapacity, OptimalRT),
+//   - deterministic fault injection for robustness studies (FaultConfig,
+//     NewFaultPlan), with graceful per-pair degradation in the schemes,
 //   - the experiment harness regenerating every table and figure
 //     (RunExperiment, Experiments).
 //
@@ -32,6 +34,7 @@ package hybridcap
 import (
 	"hybridcap/internal/capacity"
 	"hybridcap/internal/experiments"
+	"hybridcap/internal/faults"
 	"hybridcap/internal/network"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/routing"
@@ -145,6 +148,19 @@ func NewPermutationTraffic(n int, seed uint64) (*Traffic, error) {
 	return traffic.NewPermutation(n, rng.New(seed).Derive("traffic").Rand())
 }
 
+// FaultConfig declares an infrastructure fault scenario: BS outages,
+// backbone edge failures or derating, and wireless erasures.
+type FaultConfig = faults.Config
+
+// FaultPlan is a deterministic, seeded realization of a FaultConfig;
+// install it via NetworkConfig.Faults.
+type FaultPlan = faults.Plan
+
+// NewFaultPlan materializes a fault configuration into a plan.
+func NewFaultPlan(cfg FaultConfig) (*FaultPlan, error) {
+	return faults.New(cfg)
+}
+
 // Classify determines the mobility regime of a parameter point.
 func Classify(p Params) Regime {
 	r, _ := capacity.Classify(p)
@@ -188,7 +204,7 @@ type ExperimentResult = experiments.Result
 type ExperimentOptions = experiments.Options
 
 // RunExperiment runs a registered experiment ("T1", "F1".."F3R",
-// "E1".."E13") and returns its result.
+// "E1".."E14") and returns its result.
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
 	runner, err := experiments.Lookup(id)
 	if err != nil {

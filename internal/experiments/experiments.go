@@ -112,6 +112,7 @@ func All() []struct {
 		{"E11", DelayThroughput},
 		{"E12", BSOutage},
 		{"E13", KernelInvariance},
+		{"E14", Resilience},
 	}
 }
 

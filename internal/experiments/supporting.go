@@ -441,7 +441,10 @@ func AccessRate(o Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		a := linkcap.NewAnalytic(nw, 0)
+		a, err := linkcap.NewAnalytic(nw, 0)
+		if err != nil {
+			return nil, err
+		}
 		const probes = 128
 		sum := 0.0
 		for i := 0; i < probes; i++ {

@@ -59,30 +59,53 @@ func trafficFor(n int, seed uint64) (*traffic.Pattern, error) {
 	return traffic.NewPermutation(n, rng.New(seed).Derive("traffic").Rand())
 }
 
+// safeEval runs eval with panics converted to errors, so one broken
+// instance cannot tear down a whole sweep.
+func safeEval(eval evalFn, nw *network.Network, tr *traffic.Pattern) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("evaluation panicked: %v", r)
+		}
+	}()
+	return eval(nw, tr)
+}
+
 // sweepLambda runs eval over the sizes x seeds grid for the parameter
-// family and returns the mean-lambda series.
+// family and returns the mean-lambda series. Failing seeds (errors or
+// panics) are tolerated: the point aggregates the surviving seeds and
+// records its coverage in the series' OK/Attempts counters. Only a
+// point losing every seed aborts the sweep.
 func sweepLambda(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, eval evalFn) (*measure.Series, error) {
 	series := &measure.Series{Name: name}
+	src := rng.New(0xE).Derive("sweep").Derive(name)
 	for _, n := range sizes {
 		p := base.WithN(n)
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("experiments: %s at n=%d: %w", name, n, err)
 		}
+		nsrc := src.DeriveN("n", n)
 		sum := 0.0
-		count := 0
+		ok := 0
+		var firstErr error
 		for s := 0; s < o.seeds(); s++ {
-			nw, tr, err := instance(p, uint64(1000*s+7), placement)
-			if err != nil {
-				return nil, err
+			seed := nsrc.DeriveN("seed", s).Uint64()
+			nw, tr, err := instance(p, seed, placement)
+			if err == nil {
+				var v float64
+				if v, err = safeEval(eval, nw, tr); err == nil {
+					sum += v
+					ok++
+					continue
+				}
 			}
-			v, err := eval(nw, tr)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, s, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, s, err)
 			}
-			sum += v
-			count++
 		}
-		series.Add(float64(n), sum/float64(count))
+		if ok == 0 {
+			return nil, fmt.Errorf("experiments: %s at n=%d: all %d seeds failed: %w", name, n, o.seeds(), firstErr)
+		}
+		series.AddCounted(float64(n), sum/float64(ok), ok, o.seeds())
 	}
 	return series, nil
 }

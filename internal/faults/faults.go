@@ -1,0 +1,196 @@
+// Package faults provides deterministic fault injection for the hybrid
+// network: base-station outages, wired backbone edge failures and
+// capacity derating, and per-slot wireless erasures. A Plan is fully
+// determined by its Config (including the seed), so every layer that
+// consults it — network construction, backbone accounting, routing,
+// the packet-level simulator — sees the same consistent failure
+// pattern, and experiments over fault severity are reproducible
+// bit-for-bit.
+//
+// Outage sets are nested: the base stations dead at outage fraction q1
+// remain dead at every fraction q2 > q1 (each BS carries a fixed random
+// priority and the lowest-priority ones fail first). Nesting is what
+// makes capacity-vs-outage curves monotone point machines rather than
+// resamples of unrelated networks.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"hybridcap/internal/rng"
+)
+
+// Config parameterizes a fault plan. The zero value is a healthy
+// network (no faults).
+type Config struct {
+	// Seed drives every random choice in the plan.
+	Seed uint64
+	// BSOutageFraction fails round(fraction*k) base stations, in [0, 1].
+	BSOutageFraction float64
+	// BSOutageCount fails an absolute number of base stations; it is
+	// used when BSOutageFraction is zero (and clamped to k).
+	BSOutageCount int
+	// EdgeOutageFraction independently fails each wired backbone edge
+	// with this probability, in [0, 1).
+	EdgeOutageFraction float64
+	// EdgeDerating multiplies the capacity of every surviving backbone
+	// edge, in (0, 1]; zero means no derating (factor 1).
+	EdgeDerating float64
+	// WirelessErasure is the per-slot probability that a scheduled
+	// MS-BS transmission is erased and must be retried, in [0, 1).
+	WirelessErasure float64
+}
+
+// Validate checks the configured rates.
+func (c Config) Validate() error {
+	if c.BSOutageFraction < 0 || c.BSOutageFraction > 1 || math.IsNaN(c.BSOutageFraction) {
+		return fmt.Errorf("faults: BS outage fraction %g outside [0, 1]", c.BSOutageFraction)
+	}
+	if c.BSOutageCount < 0 {
+		return fmt.Errorf("faults: negative BS outage count %d", c.BSOutageCount)
+	}
+	if c.EdgeOutageFraction < 0 || c.EdgeOutageFraction >= 1 || math.IsNaN(c.EdgeOutageFraction) {
+		return fmt.Errorf("faults: edge outage fraction %g outside [0, 1)", c.EdgeOutageFraction)
+	}
+	if c.EdgeDerating < 0 || c.EdgeDerating > 1 || math.IsNaN(c.EdgeDerating) {
+		return fmt.Errorf("faults: edge derating %g outside [0, 1]", c.EdgeDerating)
+	}
+	if c.WirelessErasure < 0 || c.WirelessErasure >= 1 || math.IsNaN(c.WirelessErasure) {
+		return fmt.Errorf("faults: wireless erasure %g outside [0, 1)", c.WirelessErasure)
+	}
+	return nil
+}
+
+// Active reports whether the config injects any fault at all.
+func (c Config) Active() bool {
+	return c.BSOutageFraction > 0 || c.BSOutageCount > 0 ||
+		c.EdgeOutageFraction > 0 || (c.EdgeDerating > 0 && c.EdgeDerating < 1) ||
+		c.WirelessErasure > 0
+}
+
+// Plan is a validated, seeded fault plan. It is immutable and safe for
+// concurrent use.
+type Plan struct {
+	cfg   Config
+	bs    rng.Source
+	edges rng.Source
+	air   rng.Source
+}
+
+// New builds a plan from a config.
+func New(cfg Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed).Derive("faults")
+	return &Plan{
+		cfg:   cfg,
+		bs:    root.Derive("bs"),
+		edges: root.Derive("edges"),
+		air:   root.Derive("air"),
+	}, nil
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// uniform maps a derived source state to [0, 1).
+func uniform(s rng.Source) float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// BSPriority returns BS j's fixed survival priority in [0, 1); lower
+// priorities fail first. It depends only on the seed and j, which makes
+// outage sets nested across fractions and stable across k.
+func (p *Plan) BSPriority(j int) float64 {
+	return uniform(p.bs.DeriveN("priority", j))
+}
+
+// NumBSDown returns how many of k base stations the plan fails.
+func (p *Plan) NumBSDown(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	down := p.cfg.BSOutageCount
+	if p.cfg.BSOutageFraction > 0 {
+		down = int(math.Round(p.cfg.BSOutageFraction * float64(k)))
+	}
+	if down > k {
+		down = k
+	}
+	if down < 0 {
+		down = 0
+	}
+	return down
+}
+
+// BSAlive returns the alive mask over k base stations: the NumBSDown(k)
+// BSs with the lowest priorities are dead. The same plan always returns
+// the same mask, and the dead set at a lower outage severity is a
+// subset of the dead set at any higher one.
+func (p *Plan) BSAlive(k int) []bool {
+	alive := make([]bool, k)
+	for j := range alive {
+		alive[j] = true
+	}
+	down := p.NumBSDown(k)
+	if down == 0 {
+		return alive
+	}
+	// Select the `down` smallest priorities. k is modest (k <= n), so a
+	// simple threshold-by-sort on a copy is fine.
+	pri := make([]float64, k)
+	for j := range pri {
+		pri[j] = p.BSPriority(j)
+	}
+	for d := 0; d < down; d++ {
+		best, bestP := -1, math.Inf(1)
+		for j := range pri {
+			if alive[j] && pri[j] < bestP {
+				best, bestP = j, pri[j]
+			}
+		}
+		alive[best] = false
+	}
+	return alive
+}
+
+// EdgeAlive reports whether the wired backbone edge (i, j) survived.
+// Self-edges are reported dead. The relation is symmetric.
+func (p *Plan) EdgeAlive(i, j int) bool {
+	if i == j {
+		return false
+	}
+	if p.cfg.EdgeOutageFraction <= 0 {
+		return true
+	}
+	if i > j {
+		i, j = j, i
+	}
+	u := uniform(p.edges.DeriveN("edge", i).DeriveN("to", j))
+	return u >= p.cfg.EdgeOutageFraction
+}
+
+// EdgeFactor returns the multiplicative capacity factor of backbone
+// edge (i, j): 0 for a failed edge, the derating factor (1 when none is
+// configured) for a surviving one.
+func (p *Plan) EdgeFactor(i, j int) float64 {
+	if !p.EdgeAlive(i, j) {
+		return 0
+	}
+	if p.cfg.EdgeDerating > 0 {
+		return p.cfg.EdgeDerating
+	}
+	return 1
+}
+
+// Erased reports whether the wireless transmission of the given node
+// in the given slot is erased. Deterministic in (seed, slot, node).
+func (p *Plan) Erased(slot, node int) bool {
+	if p.cfg.WirelessErasure <= 0 {
+		return false
+	}
+	u := uniform(p.air.DeriveN("slot", slot).DeriveN("node", node))
+	return u < p.cfg.WirelessErasure
+}

@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{BSOutageFraction: -0.1},
+		{BSOutageFraction: 1.1},
+		{BSOutageFraction: math.NaN()},
+		{BSOutageCount: -1},
+		{EdgeOutageFraction: 1},
+		{EdgeOutageFraction: -0.2},
+		{EdgeDerating: 1.5},
+		{WirelessErasure: 1},
+		{WirelessErasure: -0.01},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should fail validation", c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%+v) should fail", c)
+		}
+	}
+	good := []Config{
+		{},
+		{BSOutageFraction: 1},
+		{Seed: 7, BSOutageFraction: 0.5, EdgeOutageFraction: 0.3, EdgeDerating: 0.5, WirelessErasure: 0.1},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %+v should validate: %v", c, err)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	if (Config{}).Active() {
+		t.Error("zero config should be inactive")
+	}
+	if (Config{EdgeDerating: 1}).Active() {
+		t.Error("derating 1 is a no-op and should be inactive")
+	}
+	for _, c := range []Config{
+		{BSOutageFraction: 0.1},
+		{BSOutageCount: 1},
+		{EdgeOutageFraction: 0.1},
+		{EdgeDerating: 0.9},
+		{WirelessErasure: 0.1},
+	} {
+		if !c.Active() {
+			t.Errorf("config %+v should be active", c)
+		}
+	}
+}
+
+// Property: the same seed yields an identical plan — every query agrees
+// across two independently constructed plans.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, BSOutageFraction: 0.4, EdgeOutageFraction: 0.25, WirelessErasure: 0.2}
+	p1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 61
+	a1, a2 := p1.BSAlive(k), p2.BSAlive(k)
+	for j := range a1 {
+		if a1[j] != a2[j] {
+			t.Fatalf("BS %d alive differs across identical plans", j)
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if p1.EdgeAlive(i, j) != p2.EdgeAlive(i, j) {
+				t.Fatalf("edge (%d,%d) differs across identical plans", i, j)
+			}
+			if p1.EdgeAlive(i, j) != p1.EdgeAlive(j, i) {
+				t.Fatalf("edge (%d,%d) not symmetric", i, j)
+			}
+		}
+	}
+	for slot := 0; slot < 50; slot++ {
+		for node := 0; node < 20; node++ {
+			if p1.Erased(slot, node) != p2.Erased(slot, node) {
+				t.Fatalf("erasure (%d,%d) differs across identical plans", slot, node)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	p1, _ := New(Config{Seed: 1, BSOutageFraction: 0.5})
+	p2, _ := New(Config{Seed: 2, BSOutageFraction: 0.5})
+	const k = 200
+	a1, a2 := p1.BSAlive(k), p2.BSAlive(k)
+	same := 0
+	for j := range a1 {
+		if a1[j] == a2[j] {
+			same++
+		}
+	}
+	if same == k {
+		t.Error("different seeds produced identical outage sets")
+	}
+}
+
+// Property: outage sets are nested — every BS dead at a lower fraction
+// stays dead at any higher fraction (same seed).
+func TestBSOutageNested(t *testing.T) {
+	const k = 97
+	fractions := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+	var prev []bool
+	for _, q := range fractions {
+		p, err := New(Config{Seed: 9, BSOutageFraction: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := p.BSAlive(k)
+		down := 0
+		for _, a := range alive {
+			if !a {
+				down++
+			}
+		}
+		if want := p.NumBSDown(k); down != want {
+			t.Errorf("fraction %g: %d BSs down, want %d", q, down, want)
+		}
+		if prev != nil {
+			for j := range alive {
+				if !prev[j] && alive[j] {
+					t.Errorf("fraction %g resurrected BS %d dead at a lower fraction", q, j)
+				}
+			}
+		}
+		prev = alive
+	}
+}
+
+func TestBSOutageCount(t *testing.T) {
+	p, err := New(Config{Seed: 3, BSOutageCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := p.BSAlive(12)
+	down := 0
+	for _, a := range alive {
+		if !a {
+			down++
+		}
+	}
+	if down != 5 {
+		t.Errorf("count outage failed %d BSs, want 5", down)
+	}
+	// Count larger than k is clamped.
+	p2, _ := New(Config{Seed: 3, BSOutageCount: 100})
+	for _, a := range p2.BSAlive(4) {
+		if a {
+			t.Error("clamped count outage should fail every BS")
+			break
+		}
+	}
+}
+
+func TestEdgeFactor(t *testing.T) {
+	p, _ := New(Config{Seed: 5, EdgeDerating: 0.5})
+	if f := p.EdgeFactor(0, 1); f != 0.5 {
+		t.Errorf("derated factor = %g, want 0.5", f)
+	}
+	if f := p.EdgeFactor(2, 2); f != 0 {
+		t.Errorf("self edge factor = %g, want 0", f)
+	}
+	healthy, _ := New(Config{})
+	if f := healthy.EdgeFactor(0, 1); f != 1 {
+		t.Errorf("healthy factor = %g, want 1", f)
+	}
+}
+
+func TestEdgeOutageRate(t *testing.T) {
+	p, _ := New(Config{Seed: 11, EdgeOutageFraction: 0.3})
+	const k = 120
+	dead, total := 0, 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			total++
+			if !p.EdgeAlive(i, j) {
+				dead++
+			}
+		}
+	}
+	got := float64(dead) / float64(total)
+	if got < 0.25 || got > 0.35 {
+		t.Errorf("edge outage rate %.3f far from configured 0.3", got)
+	}
+}
+
+func TestErasureRate(t *testing.T) {
+	p, _ := New(Config{Seed: 13, WirelessErasure: 0.2})
+	hits, total := 0, 0
+	for slot := 0; slot < 200; slot++ {
+		for node := 0; node < 50; node++ {
+			total++
+			if p.Erased(slot, node) {
+				hits++
+			}
+		}
+	}
+	got := float64(hits) / float64(total)
+	if got < 0.17 || got > 0.23 {
+		t.Errorf("erasure rate %.3f far from configured 0.2", got)
+	}
+	healthy, _ := New(Config{})
+	if healthy.Erased(0, 0) {
+		t.Error("healthy plan should never erase")
+	}
+}

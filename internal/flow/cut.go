@@ -35,7 +35,10 @@ func EvaluateCut(nw *network.Network, tr *traffic.Pattern, region geom.Region, c
 	if tr.Len() != nw.NumMS() {
 		return nil, fmt.Errorf("flow: traffic size %d does not match %d MSs", tr.Len(), nw.NumMS())
 	}
-	a := linkcap.NewAnalytic(nw, ct)
+	a, err := linkcap.NewAnalytic(nw, ct)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	homes := nw.HomePoints()
 	inside := make([]bool, nw.NumMS())
 	for i, h := range homes {

@@ -35,17 +35,23 @@ type Analytic struct {
 	ct  float64
 }
 
-// NewAnalytic builds the evaluator. ct <= 0 selects DefaultCT.
-func NewAnalytic(nw *network.Network, ct float64) *Analytic {
+// NewAnalytic builds the evaluator. ct <= 0 selects DefaultCT. The
+// error of a malformed mobility kernel propagates from the network's
+// eta table.
+func NewAnalytic(nw *network.Network, ct float64) (*Analytic, error) {
 	if ct <= 0 {
 		ct = DefaultCT
 	}
+	eta, err := nw.Eta()
+	if err != nil {
+		return nil, fmt.Errorf("linkcap: %w", err)
+	}
 	return &Analytic{
-		eta: nw.Eta(),
+		eta: eta,
 		f:   nw.F(),
 		n:   nw.NumMS(),
 		ct:  ct,
-	}
+	}, nil
 }
 
 // RT returns the S* transmission range cT/sqrt(n).

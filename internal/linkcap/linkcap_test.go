@@ -21,13 +21,22 @@ func uniformNetwork(t *testing.T, n int, alpha float64) *network.Network {
 	return nw
 }
 
+func newAnalytic(t *testing.T, nw *network.Network, ct float64) *Analytic {
+	t.Helper()
+	a, err := NewAnalytic(nw, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func TestAnalyticRT(t *testing.T) {
 	nw := uniformNetwork(t, 400, 0.25)
-	a := NewAnalytic(nw, 0)
+	a := newAnalytic(t, nw, 0)
 	if got, want := a.RT(), 1.0/20; !closeTo(got, want, 1e-12) {
 		t.Errorf("RT = %v, want %v", got, want)
 	}
-	a2 := NewAnalytic(nw, 2)
+	a2 := newAnalytic(t, nw, 2)
 	if got, want := a2.RT(), 2.0/20; !closeTo(got, want, 1e-12) {
 		t.Errorf("RT(ct=2) = %v, want %v", got, want)
 	}
@@ -37,7 +46,7 @@ func closeTo(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
 
 func TestMSMSDecreasesWithDistance(t *testing.T) {
 	nw := uniformNetwork(t, 1000, 0.25)
-	a := NewAnalytic(nw, 0)
+	a := newAnalytic(t, nw, 0)
 	prev := math.Inf(1)
 	for d := 0.0; d < 0.3; d += 0.01 {
 		v := a.MSMS(d)
@@ -53,7 +62,7 @@ func TestMSMSDecreasesWithDistance(t *testing.T) {
 
 func TestMSMSVanishesBeyondReach(t *testing.T) {
 	nw := uniformNetwork(t, 1000, 0.25)
-	a := NewAnalytic(nw, 0)
+	a := newAnalytic(t, nw, 0)
 	// Two nodes with home-points farther than 2D/f never meet.
 	d := 2*nw.Sampler.Kernel().Support()/nw.F() + 0.01
 	if v := a.MSMS(d); v != 0 {
@@ -63,7 +72,7 @@ func TestMSMSVanishesBeyondReach(t *testing.T) {
 
 func TestMSBSVanishesBeyondReach(t *testing.T) {
 	nw := uniformNetwork(t, 1000, 0.25)
-	a := NewAnalytic(nw, 0)
+	a := newAnalytic(t, nw, 0)
 	d := nw.Sampler.Kernel().Support()/nw.F() + 0.01
 	if v := a.MSBS(d); v != 0 {
 		t.Errorf("MSBS(%v) = %v, want 0", d, v)
@@ -74,7 +83,7 @@ func TestMSBSVanishesBeyondReach(t *testing.T) {
 // Monte-Carlo meeting probability.
 func TestAnalyticMatchesMonteCarlo(t *testing.T) {
 	nw := uniformNetwork(t, 256, 0.25)
-	a := NewAnalytic(nw, 0)
+	a := newAnalytic(t, nw, 0)
 	r := rng.New(7).Rand()
 	h1 := geom.Point{X: 0.5, Y: 0.5}
 	f := nw.F()
@@ -107,7 +116,7 @@ func TestAccessRateScalesLikeKOverN(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a := NewAnalytic(nw, 0)
+		a := newAnalytic(t, nw, 0)
 		// Average access rate over a few MSs.
 		sum := 0.0
 		const probes = 64
@@ -175,7 +184,10 @@ func TestUniformityEmpty(t *testing.T) {
 
 func TestLocalDensityCountsBS(t *testing.T) {
 	// A BS inside the probe ball adds one to the density.
-	s := mobility.NewSampler(mobility.UniformDisk{D: 1})
+	s, err := mobility.NewSampler(mobility.UniformDisk{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	at := geom.Point{X: 0.5, Y: 0.5}
 	n := 100
 	rhoNoBS := LocalDensity(at, nil, nil, s, 10, n)

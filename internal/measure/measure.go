@@ -125,12 +125,32 @@ func Median(vals []float64) (float64, error) {
 type Series struct {
 	Name string
 	X, Y []float64
+	// OK and Attempts record, per point, how many instance evaluations
+	// succeeded and how many were tried; a sweep that tolerates
+	// per-seed failures reports partial coverage here.
+	OK, Attempts []int
 }
 
-// Add appends one point.
+// Add appends one point backed by a single successful evaluation.
 func (s *Series) Add(x, y float64) {
+	s.AddCounted(x, y, 1, 1)
+}
+
+// AddCounted appends one point together with its evaluation coverage:
+// ok of attempts instance evaluations succeeded and contributed to y.
+func (s *Series) AddCounted(x, y float64, ok, attempts int) {
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
+	s.OK = append(s.OK, ok)
+	s.Attempts = append(s.Attempts, attempts)
+}
+
+// ErrorRate returns the fraction of failed evaluations behind point i.
+func (s *Series) ErrorRate(i int) float64 {
+	if i < 0 || i >= len(s.Attempts) || s.Attempts[i] == 0 {
+		return 0
+	}
+	return 1 - float64(s.OK[i])/float64(s.Attempts[i])
 }
 
 // Len returns the number of points.

@@ -1,6 +1,9 @@
 package mobility
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // EtaTable tabulates the contact-density convolution of Corollary 1,
 //
@@ -25,9 +28,12 @@ const (
 )
 
 // NewEtaTable precomputes eta over [0, 2D] (eta vanishes beyond twice
-// the kernel support).
-func NewEtaTable(k Kernel) *EtaTable {
-	s := NewSampler(k)
+// the kernel support). Malformed kernels are reported as errors.
+func NewEtaTable(k Kernel) (*EtaTable, error) {
+	s, err := NewSampler(k)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: eta table: %w", err)
+	}
 	d := k.Support()
 	t := &EtaTable{
 		sampler: s,
@@ -37,7 +43,7 @@ func NewEtaTable(k Kernel) *EtaTable {
 	for i := 0; i <= etaTableSize; i++ {
 		t.vals[i] = etaQuad(s, float64(i)*t.step)
 	}
-	return t
+	return t, nil
 }
 
 // etaQuad computes the convolution integral at separation x0 by polar

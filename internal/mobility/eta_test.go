@@ -9,9 +9,18 @@ import (
 	"hybridcap/internal/geom"
 )
 
+func newEta(t *testing.T, k Kernel) *EtaTable {
+	t.Helper()
+	et, err := NewEtaTable(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return et
+}
+
 func TestEtaIntegratesToOne(t *testing.T) {
 	for _, k := range []Kernel{UniformDisk{D: 1}, Cone{D: 1}, TruncGauss{Sigma: 0.3, D: 1}} {
-		et := NewEtaTable(k)
+		et := newEta(t, k)
 		if got := et.Integral(); math.Abs(got-1) > 0.02 {
 			t.Errorf("%s: eta integral = %v, want 1", k.Name(), got)
 		}
@@ -21,7 +30,7 @@ func TestEtaIntegratesToOne(t *testing.T) {
 func TestEtaNonIncreasing(t *testing.T) {
 	// For radially non-increasing kernels the autocorrelation eta is
 	// also non-increasing in separation.
-	et := NewEtaTable(UniformDisk{D: 1})
+	et := newEta(t, UniformDisk{D: 1})
 	prev := math.Inf(1)
 	for x := 0.0; x <= 2.2; x += 0.01 {
 		v := et.Eta(x)
@@ -33,7 +42,7 @@ func TestEtaNonIncreasing(t *testing.T) {
 }
 
 func TestEtaVanishesBeyondTwiceSupport(t *testing.T) {
-	et := NewEtaTable(UniformDisk{D: 0.7})
+	et := newEta(t, UniformDisk{D: 0.7})
 	if v := et.Eta(1.41); v != 0 {
 		t.Errorf("eta(2D+) = %v, want 0", v)
 	}
@@ -43,7 +52,7 @@ func TestEtaVanishesBeyondTwiceSupport(t *testing.T) {
 }
 
 func TestEtaSymmetricInput(t *testing.T) {
-	et := NewEtaTable(Cone{D: 1})
+	et := newEta(t, Cone{D: 1})
 	if et.Eta(-0.5) != et.Eta(0.5) {
 		t.Error("eta should treat negative separations as distances")
 	}
@@ -53,7 +62,7 @@ func TestEtaSymmetricInput(t *testing.T) {
 // eta(0) = 1/(pi D^2).
 func TestEtaAtZeroUniform(t *testing.T) {
 	d := 1.0
-	et := NewEtaTable(UniformDisk{D: d})
+	et := newEta(t, UniformDisk{D: d})
 	want := 1 / (math.Pi * d * d)
 	if got := et.Eta(0); math.Abs(got-want) > 0.02*want {
 		t.Errorf("eta(0) = %v, want %v", got, want)
@@ -64,7 +73,7 @@ func TestEtaAtZeroUniform(t *testing.T) {
 // (pi D^2)^2; verify one interior point against the closed form.
 func TestEtaLensOverlapUniform(t *testing.T) {
 	d := 1.0
-	et := NewEtaTable(UniformDisk{D: d})
+	et := newEta(t, UniformDisk{D: d})
 	x := 0.8
 	// Area of intersection of two unit disks at center distance x.
 	lens := 2*d*d*math.Acos(x/(2*d)) - x/2*math.Sqrt(4*d*d-x*x)
@@ -78,7 +87,7 @@ func TestEtaLensOverlapUniform(t *testing.T) {
 // of two independent stationary nodes with home-points d apart.
 func TestEtaMatchesMonteCarloMeetingProbability(t *testing.T) {
 	k := UniformDisk{D: 1}
-	et := NewEtaTable(k)
+	et := newEta(t, k)
 	s := et.Sampler()
 	f := 4.0
 	dHome := 0.3 // home distance; f*dHome = 1.2 < 2D

@@ -140,13 +140,14 @@ type Sampler struct {
 
 const samplerTableSize = 2048
 
-// NewSampler builds a sampler for the kernel. It panics only on
-// malformed kernels with zero total mass, which indicates a programming
-// error (an all-zero density is not a distribution).
-func NewSampler(k Kernel) *Sampler {
+// NewSampler builds a sampler for the kernel. Malformed kernels —
+// non-positive support or zero total mass (an all-zero density is not a
+// distribution) — are reported as errors so callers fed user-supplied
+// kernels can degrade gracefully instead of crashing.
+func NewSampler(k Kernel) (*Sampler, error) {
 	d := k.Support()
 	if d <= 0 {
-		panic(fmt.Sprintf("mobility: kernel %s has non-positive support", k.Name()))
+		return nil, fmt.Errorf("mobility: kernel %s has non-positive support", k.Name())
 	}
 	s := &Sampler{
 		kernel: k,
@@ -168,13 +169,13 @@ func NewSampler(k Kernel) *Sampler {
 		s.cdf[i] = acc
 	}
 	if acc <= 0 {
-		panic(fmt.Sprintf("mobility: kernel %s has zero mass", k.Name()))
+		return nil, fmt.Errorf("mobility: kernel %s has zero mass", k.Name())
 	}
 	for i := range s.cdf {
 		s.cdf[i] /= acc
 	}
 	s.mass = 2 * math.Pi * acc
-	return s
+	return s, nil
 }
 
 // Kernel returns the sampled kernel.

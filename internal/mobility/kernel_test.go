@@ -56,7 +56,7 @@ func TestSamplerMass(t *testing.T) {
 		{Cone{D: 1}, math.Pi / 3},
 	}
 	for _, c := range cases {
-		s := NewSampler(c.k)
+		s := mustSampler(t, c.k)
 		if math.Abs(s.Mass()-c.want) > 1e-3*c.want {
 			t.Errorf("%s: mass = %v, want %v", c.k.Name(), s.Mass(), c.want)
 		}
@@ -66,7 +66,7 @@ func TestSamplerMass(t *testing.T) {
 func TestSampleWithinSupport(t *testing.T) {
 	r := rng.New(1).Rand()
 	for _, k := range kernels() {
-		s := NewSampler(k)
+		s := mustSampler(t, k)
 		for i := 0; i < 1000; i++ {
 			dx, dy := s.Sample(r)
 			if d := math.Hypot(dx, dy); d > k.Support()+1e-9 {
@@ -79,7 +79,7 @@ func TestSampleWithinSupport(t *testing.T) {
 // The empirical radial CDF of samples must match the analytic CDF for
 // the uniform disk (P(rho <= x) = (x/D)^2).
 func TestSampleRadialDistributionUniform(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	r := rng.New(2).Rand()
 	const n = 50000
 	count := 0
@@ -97,7 +97,7 @@ func TestSampleRadialDistributionUniform(t *testing.T) {
 // For the cone kernel the radial CDF is integral of (1-t)t dt
 // normalized: F(x) = (3x^2 - 2x^3).
 func TestSampleRadialDistributionCone(t *testing.T) {
-	s := NewSampler(Cone{D: 1})
+	s := mustSampler(t, Cone{D: 1})
 	r := rng.New(3).Rand()
 	const n = 50000
 	for _, x := range []float64{0.25, 0.5, 0.75} {
@@ -118,7 +118,7 @@ func TestSampleRadialDistributionCone(t *testing.T) {
 }
 
 func TestSampleIsotropic(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	r := rng.New(4).Rand()
 	var sx, sy float64
 	const n = 20000
@@ -134,7 +134,7 @@ func TestSampleIsotropic(t *testing.T) {
 
 func TestNormDensityIntegratesToOne(t *testing.T) {
 	for _, k := range kernels() {
-		s := NewSampler(k)
+		s := mustSampler(t, k)
 		// 2*pi*integral of normdensity(rho)*rho drho over [0, D].
 		const bins = 4000
 		h := k.Support() / bins
@@ -150,13 +150,19 @@ func TestNormDensityIntegratesToOne(t *testing.T) {
 	}
 }
 
-func TestNewSamplerPanicsOnZeroSupport(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewSampler should panic on zero-support kernel")
-		}
-	}()
-	NewSampler(UniformDisk{D: 0})
+func TestNewSamplerErrorsOnZeroSupport(t *testing.T) {
+	if _, err := NewSampler(UniformDisk{D: 0}); err == nil {
+		t.Error("NewSampler should error on zero-support kernel")
+	}
+}
+
+func mustSampler(t *testing.T, k Kernel) *Sampler {
+	t.Helper()
+	s, err := NewSampler(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func TestDefaultKernel(t *testing.T) {

@@ -113,7 +113,7 @@ func TestUniformInDiskIsUniform(t *testing.T) {
 }
 
 func TestSamplePointNearScalesWithF(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	r := rng.New(7).Rand()
 	home := geom.Point{X: 0.5, Y: 0.5}
 	for _, f := range []float64{1, 4, 16} {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestIIDStationaryRadius(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	r := rng.New(1).Rand()
 	home := geom.Point{X: 0.3, Y: 0.3}
 	f := 8.0
@@ -34,7 +34,7 @@ func TestIIDStationaryRadius(t *testing.T) {
 }
 
 func TestWalkStaysInSupport(t *testing.T) {
-	s := NewSampler(Cone{D: 1})
+	s := mustSampler(t, Cone{D: 1})
 	r := rng.New(2).Rand()
 	home := geom.Point{X: 0.7, Y: 0.2}
 	f := 4.0
@@ -51,7 +51,7 @@ func TestWalkStaysInSupport(t *testing.T) {
 // i.i.d. process: compare the long-run fraction of time within half the
 // support radius with the analytic value for the uniform-disk kernel.
 func TestWalkStationaryMatchesKernel(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	r := rng.New(3).Rand()
 	home := geom.Point{X: 0.5, Y: 0.5}
 	f := 4.0
@@ -76,7 +76,7 @@ func TestWalkStationaryMatchesKernel(t *testing.T) {
 }
 
 func TestWalkMovesLocally(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	r := rng.New(4).Rand()
 	f := 10.0
 	p := NewWalk(geom.Point{X: 0.5, Y: 0.5}, s, f, 0.1, r)
@@ -112,7 +112,7 @@ func TestStaticNeverMoves(t *testing.T) {
 }
 
 func TestResetRedraws(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	r := rng.New(6).Rand()
 	p := NewIID(geom.Point{X: 0.5, Y: 0.5}, s, 2, r)
 	seen := map[geom.Point]bool{}
@@ -126,14 +126,14 @@ func TestResetRedraws(t *testing.T) {
 }
 
 func TestMaxExcursion(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 2})
+	s := mustSampler(t, UniformDisk{D: 2})
 	if got := MaxExcursion(s, 4); got != 0.5 {
 		t.Errorf("MaxExcursion = %v, want 0.5", got)
 	}
 }
 
 func TestMixingEstimate(t *testing.T) {
-	s := NewSampler(UniformDisk{D: 1})
+	s := mustSampler(t, UniformDisk{D: 1})
 	if got := MixingEstimate(s, 0.1); got != 100 {
 		t.Errorf("MixingEstimate(0.1) = %d, want 100", got)
 	}

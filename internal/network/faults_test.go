@@ -1,0 +1,88 @@
+package network
+
+import (
+	"testing"
+
+	"hybridcap/internal/faults"
+	"hybridcap/internal/scaling"
+)
+
+func faultyNet(t *testing.T, p scaling.Params, seed uint64, fc faults.Config) *Network {
+	t.Helper()
+	plan, err := faults.New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(Config{Params: p, Seed: seed, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestLiveBSAccessorsHealthy(t *testing.T) {
+	nw, err := New(Config{Params: testParams(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Faults() != nil || nw.BSAlive != nil {
+		t.Fatal("healthy network should carry no fault state")
+	}
+	if got, want := nw.NumLiveBS(), nw.NumBS(); got != want {
+		t.Errorf("NumLiveBS = %d, want %d", got, want)
+	}
+	for j := 0; j < nw.NumBS(); j++ {
+		if !nw.BSIsLive(j) {
+			t.Fatalf("BS %d not live on healthy network", j)
+		}
+	}
+	pos, ids := nw.LiveBSPositions()
+	if len(pos) != nw.NumBS() || len(ids) != nw.NumBS() {
+		t.Errorf("LiveBSPositions lengths %d/%d, want %d", len(pos), len(ids), nw.NumBS())
+	}
+}
+
+func TestApplyFaultsLiveAccessors(t *testing.T) {
+	nw := faultyNet(t, testParams(), 5, faults.Config{Seed: 9, BSOutageFraction: 0.5})
+	plan := nw.Faults()
+	if plan == nil {
+		t.Fatal("plan not installed")
+	}
+	k := nw.NumBS()
+	wantDown := plan.NumBSDown(k)
+	if got := k - nw.NumLiveBS(); got != wantDown {
+		t.Errorf("dead count = %d, want %d", got, wantDown)
+	}
+	pos, ids := nw.LiveBSPositions()
+	if len(pos) != nw.NumLiveBS() || len(ids) != nw.NumLiveBS() {
+		t.Fatalf("LiveBSPositions sizes %d/%d, want %d", len(pos), len(ids), nw.NumLiveBS())
+	}
+	for i, id := range ids {
+		if !nw.BSIsLive(id) {
+			t.Errorf("listed live BS %d reported dead", id)
+		}
+		if pos[i] != nw.BSPos[id] {
+			t.Errorf("live position %d mismatches BSPos[%d]", i, id)
+		}
+	}
+	if got, want := len(nw.LiveBSIDs()), nw.NumLiveBS(); got != want {
+		t.Errorf("LiveBSIDs length %d, want %d", got, want)
+	}
+}
+
+func TestBSClusterMembersSkipDead(t *testing.T) {
+	p := scaling.Params{N: 256, Alpha: 0.3, K: 0.6, Phi: 1, M: 0.5, R: 0.3}
+	nw := faultyNet(t, p, 6, faults.Config{Seed: 9, BSOutageFraction: 0.5})
+	total := 0
+	for _, members := range nw.BSClusterMembers() {
+		for _, b := range members {
+			if !nw.BSIsLive(b) {
+				t.Errorf("cluster members include dead BS %d", b)
+			}
+			total++
+		}
+	}
+	if total != nw.NumLiveBS() {
+		t.Errorf("cluster members cover %d BSs, want %d live", total, nw.NumLiveBS())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"hybridcap/internal/faults"
 	"hybridcap/internal/geom"
 	"hybridcap/internal/mobility"
 	"hybridcap/internal/rng"
@@ -77,6 +78,10 @@ type Config struct {
 	BSPlacement BSPlacement     // zero selects Matched
 	WalkStep    float64         // proposal fraction for Walk; zero = default
 	Seed        uint64
+	// Faults optionally injects infrastructure faults: BS outages are
+	// applied at construction, and routing/simulation layers consult
+	// the plan for backbone edge failures and wireless erasures.
+	Faults *faults.Plan
 }
 
 // Network is a concrete instance: home-points, mobility processes and
@@ -88,11 +93,16 @@ type Network struct {
 	MSProcs   []mobility.Process
 	BSPos     []geom.Point
 	BSCluster []int // index of nearest MS cluster per BS
+	// BSAlive marks which BSs survived the fault plan; nil means every
+	// BS is alive. Dead BSs keep their position (the tower stands, the
+	// equipment is down) but are excluded from serving sets.
+	BSAlive []bool
 
 	f       float64
 	stepRNG *rand.Rand
 	etaOnce sync.Once
 	eta     *mobility.EtaTable
+	etaErr  error
 }
 
 // New builds a network instance. The same Config always produces the
@@ -112,14 +122,17 @@ func New(cfg Config) (*Network, error) {
 	}
 	root := rng.New(cfg.Seed)
 	p := cfg.Params
+	sampler, err := mobility.NewSampler(cfg.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
 	nw := &Network{
 		Cfg:     cfg,
-		Sampler: mobility.NewSampler(cfg.Kernel),
+		Sampler: sampler,
 		f:       p.F(),
 	}
 
 	placeRand := root.Derive("homepoints").Rand()
-	var err error
 	if m := p.NumClusters(); m >= p.N {
 		nw.Placement, err = mobility.PlaceUniform(p.N, placeRand)
 	} else {
@@ -149,7 +162,67 @@ func New(cfg Config) (*Network, error) {
 			return nil, err
 		}
 	}
+	if cfg.Faults != nil {
+		nw.ApplyFaults(cfg.Faults)
+	}
 	return nw, nil
+}
+
+// ApplyFaults installs (or replaces) a fault plan: the plan's BS outage
+// mask takes effect immediately and downstream layers (routing,
+// simulation) read the plan for edge failures and wireless erasures.
+// A nil plan restores a healthy network.
+func (nw *Network) ApplyFaults(plan *faults.Plan) {
+	nw.Cfg.Faults = plan
+	if plan == nil || len(nw.BSPos) == 0 {
+		nw.BSAlive = nil
+		return
+	}
+	nw.BSAlive = plan.BSAlive(len(nw.BSPos))
+}
+
+// Faults returns the installed fault plan (nil when healthy).
+func (nw *Network) Faults() *faults.Plan { return nw.Cfg.Faults }
+
+// BSIsLive reports whether BS j survived the fault plan.
+func (nw *Network) BSIsLive(j int) bool {
+	return nw.BSAlive == nil || nw.BSAlive[j]
+}
+
+// NumLiveBS returns the number of surviving base stations.
+func (nw *Network) NumLiveBS() int {
+	if nw.BSAlive == nil {
+		return len(nw.BSPos)
+	}
+	live := 0
+	for _, a := range nw.BSAlive {
+		if a {
+			live++
+		}
+	}
+	return live
+}
+
+// LiveBSIDs returns the ids of surviving base stations.
+func (nw *Network) LiveBSIDs() []int {
+	ids := make([]int, 0, len(nw.BSPos))
+	for j := range nw.BSPos {
+		if nw.BSIsLive(j) {
+			ids = append(ids, j)
+		}
+	}
+	return ids
+}
+
+// LiveBSPositions returns the positions of surviving base stations and
+// their original ids, in id order.
+func (nw *Network) LiveBSPositions() ([]geom.Point, []int) {
+	ids := nw.LiveBSIDs()
+	pos := make([]geom.Point, len(ids))
+	for i, j := range ids {
+		pos[i] = nw.BSPos[j]
+	}
+	return pos, ids
 }
 
 func (nw *Network) placeBS(r *rand.Rand) error {
@@ -240,10 +313,11 @@ func (nw *Network) MSPositions(dst []geom.Point) []geom.Point {
 }
 
 // Eta returns the kernel's contact-density table, built lazily (it is
-// moderately expensive and only some analyses need it).
-func (nw *Network) Eta() *mobility.EtaTable {
-	nw.etaOnce.Do(func() { nw.eta = mobility.NewEtaTable(nw.Cfg.Kernel) })
-	return nw.eta
+// moderately expensive and only some analyses need it). The build error
+// of a malformed kernel is cached alongside the table.
+func (nw *Network) Eta() (*mobility.EtaTable, error) {
+	nw.etaOnce.Do(func() { nw.eta, nw.etaErr = mobility.NewEtaTable(nw.Cfg.Kernel) })
+	return nw.eta, nw.etaErr
 }
 
 // RemoveBS fails a random fraction of the base stations in place,
@@ -281,12 +355,16 @@ func (nw *Network) MSClusterMembers() [][]int {
 	return members
 }
 
-// BSClusterMembers returns, for each cluster, the list of BS ids
-// assigned (by proximity) to it.
+// BSClusterMembers returns, for each cluster, the list of surviving BS
+// ids assigned (by proximity) to it. Dead BSs are omitted, so a cluster
+// whose every serving BS failed gets an empty member list — the signal
+// routing uses to degrade that cluster's traffic.
 func (nw *Network) BSClusterMembers() [][]int {
 	members := make([][]int, nw.Placement.NumClusters())
 	for j, c := range nw.BSCluster {
-		members[c] = append(members[c], j)
+		if nw.BSIsLive(j) {
+			members[c] = append(members[c], j)
+		}
 	}
 	return members
 }

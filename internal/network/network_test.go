@@ -248,8 +248,14 @@ func TestEtaLazy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1 := nw.Eta()
-	e2 := nw.Eta()
+	e1, err := nw.Eta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := nw.Eta()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e1 != e2 {
 		t.Error("Eta should be cached")
 	}

@@ -41,6 +41,16 @@ type Evaluation struct {
 	// for two-hop). A scheme with failures cannot serve the traffic
 	// matrix: Lambda is reported as 0, with diagnostics retained.
 	Failures int
+	// Degraded counts pairs served off the scheme's primary transport
+	// because of injected infrastructure faults (e.g. scheme B pairs
+	// rerouted to wireless multihop when their serving BSs are dead).
+	// Degraded pairs are still served; they bound Lambda by the
+	// fallback rate but do not zero it.
+	Degraded int
+	// Dropped counts pairs that not even the degraded path could serve
+	// under the fault plan. Dropped pairs are reported for diagnostics
+	// (the scheme sheds that traffic) without zeroing Lambda.
+	Dropped int
 	// Detail carries named intermediate quantities for reporting.
 	Detail map[string]float64
 }
@@ -68,8 +78,16 @@ func validate(nw *network.Network, tr *traffic.Pattern) error {
 }
 
 // finish normalizes an evaluation: a scheme that failed to route pairs
-// reports Lambda 0.
+// reports Lambda 0. Degraded and Dropped pairs are fault-induced and
+// intentionally do NOT zero Lambda — they are the graceful-degradation
+// outcome, surfaced through their counters and Detail.
 func finish(ev *Evaluation) *Evaluation {
+	if ev.Degraded > 0 {
+		ev.Detail["degradedPairs"] = float64(ev.Degraded)
+	}
+	if ev.Dropped > 0 {
+		ev.Detail["droppedPairs"] = float64(ev.Dropped)
+	}
 	if ev.Failures > 0 {
 		ev.Detail["lambdaIfFailuresIgnored"] = ev.Lambda
 		ev.Lambda = 0

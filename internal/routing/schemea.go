@@ -69,7 +69,10 @@ func (s SchemeA) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 	if iters < 0 {
 		iters = 1
 	}
-	a := linkcap.NewAnalytic(nw, s.CT)
+	a, err := linkcap.NewAnalytic(nw, s.CT)
+	if err != nil {
+		return nil, fmt.Errorf("routing: scheme A: %w", err)
+	}
 	d := nw.Sampler.Kernel().Support()
 	side := frac * d / nw.F()
 	g := geom.NewGrid(side)

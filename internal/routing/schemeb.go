@@ -42,11 +42,20 @@ func (g GroupBy) String() string {
 // of the destination group, (III) which deliver to the destination MS.
 // Theorem 5 (strong mobility) and Theorem 7 (weak mobility, with
 // clusters as groups) show it sustains Theta(min(k^2 c/n, k/n)).
+//
+// Under an installed fault plan (network.Config.Faults) the scheme
+// degrades per pair instead of failing: a pair whose source or
+// destination group lost every live serving BS — or whose groups lost
+// every usable backbone edge — is rerouted over the Fallback wireless
+// transport and counted in Evaluation.Degraded; if the fallback cannot
+// serve either, the pair is shed and counted in Evaluation.Dropped.
+// Neither counter zeroes Lambda the way Failures does.
 type SchemeB struct {
 	// GroupBy selects squarelet (default) or cluster grouping.
 	GroupBy GroupBy
 	// Cells is the number of squarelet cells per side for BySquarelet;
-	// zero selects 4 (16 constant-area squarelets).
+	// zero selects the largest side (up to 4) whose every squarelet
+	// holds a live BS.
 	Cells int
 	// AccessRT overrides the MS-BS transmission range. Zero selects the
 	// S* range cT/sqrt(n) for squarelet grouping and the subnet-optimal
@@ -54,6 +63,10 @@ type SchemeB struct {
 	AccessRT float64
 	// CT is the constant in the default S* range.
 	CT float64
+	// Fallback serves fault-degraded pairs; nil selects SchemeA (the
+	// paper's BS-free multihop transport). It must not be a scheme that
+	// itself requires infrastructure.
+	Fallback Scheme
 }
 
 // Name implements Scheme.
@@ -71,6 +84,7 @@ func (s SchemeB) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 	if groupBy == 0 {
 		groupBy = BySquarelet
 	}
+	plan := nw.Faults()
 
 	var msGroups, bsGroups [][]int
 	var groupOfMS []int
@@ -82,21 +96,29 @@ func (s SchemeB) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 		}
 		g := geom.NewGridCells(cells)
 		msGroups = cellMembersOf(g, nw.HomePoints())
-		bsGroups = cellMembersOf(g, nw.BSPos)
+		bsGroups = make([][]int, g.NumCells())
+		livePos, liveIDs := nw.LiveBSPositions()
+		for i, y := range livePos {
+			c := g.CellIndexOf(y)
+			bsGroups[c] = append(bsGroups[c], liveIDs[i])
+		}
 		groupOfMS = make([]int, nw.NumMS())
 		for i, h := range nw.HomePoints() {
 			groupOfMS[i] = g.CellIndexOf(h)
 		}
 	case ByCluster:
 		msGroups = nw.MSClusterMembers()
-		bsGroups = nw.BSClusterMembers()
+		bsGroups = nw.BSClusterMembers() // live BSs only
 		groupOfMS = make([]int, nw.NumMS())
 		copy(groupOfMS, nw.Placement.ClusterOf)
 	default:
 		return nil, fmt.Errorf("routing: unknown grouping %v", groupBy)
 	}
 
-	a := linkcap.NewAnalytic(nw, s.CT)
+	a, err := linkcap.NewAnalytic(nw, s.CT)
+	if err != nil {
+		return nil, fmt.Errorf("routing: scheme B: %w", err)
+	}
 	rt := s.AccessRT
 	if rt <= 0 {
 		rt = defaultAccessRT(nw, groupBy, a)
@@ -104,57 +126,77 @@ func (s SchemeB) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 
 	ev := &Evaluation{Detail: map[string]float64{}}
 
-	// Phase I & III: per-group air-interface accounting. Each source
-	// loads its group once (uplink), each destination once (downlink);
-	// the group's service rate is the summed, per-BS-capped MS-BS
-	// capacity (Lemma 9 machinery with the Lemma 8 cap).
+	// Wired backbone with surviving edge capacities (phase II).
+	bb, err := backbone.New(nw.NumBS(), nw.Cfg.Params.BandwidthC())
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	if plan != nil || nw.BSAlive != nil {
+		if err := bb.ApplyFaults(plan, nw.BSAlive); err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
+	}
+
+	// Per-group air-interface service (phases I & III): the group's
+	// service rate is the summed, per-BS-capped MS-BS capacity over its
+	// live BSs (Lemma 9 machinery with the Lemma 8 cap).
 	rnd := rng.New(0xB).Derive("schemeB").Rand()
-	groupLoad := make([]float64, len(msGroups))
+	endpoints := make([]float64, len(msGroups))
 	for src, dst := range tr.DestOf {
-		groupLoad[groupOfMS[src]]++
-		groupLoad[groupOfMS[dst]]++
+		endpoints[groupOfMS[src]]++
+		endpoints[groupOfMS[dst]]++
 	}
 	groupService := make([]float64, len(msGroups))
 	for g := range msGroups {
-		if groupLoad[g] == 0 {
+		if endpoints[g] == 0 {
 			continue
 		}
 		for _, b := range bsGroups[g] {
 			groupService[g] += groupCapMSBS(a, nw.HomePoints(), msGroups[g], nw.BSPos[b], rt, rnd)
 		}
 	}
-	lambdaAccess := math.Inf(1)
-	for g := range msGroups {
-		if groupLoad[g] == 0 {
-			continue
-		}
-		if groupService[g] <= 0 {
-			ev.Failures += int(groupLoad[g])
-			continue
-		}
-		if r := groupService[g] / groupLoad[g]; r < lambdaAccess {
-			lambdaAccess = r
-		}
-	}
-	if math.IsInf(lambdaAccess, 1) && ev.Failures == 0 {
-		return nil, fmt.Errorf("routing: scheme B found no loaded groups")
-	}
+	usable := func(g int) bool { return groupService[g] > 0 }
 
-	// Phase II: wired backbone feasibility at unit per-pair rate.
-	bb, err := backbone.New(nw.NumBS(), nw.Cfg.Params.BandwidthC())
-	if err != nil {
-		return nil, fmt.Errorf("routing: %w", err)
-	}
+	// Classify pairs: infrastructure-routable pairs load their groups'
+	// air interfaces and the backbone; the rest degrade to the fallback
+	// when a fault plan is installed, or count as legacy failures on a
+	// healthy network (finite-size artifact: a group without BSs).
+	infraLoad := make([]float64, len(msGroups))
+	degraded := 0
 	for src, dst := range tr.DestOf {
 		gs, gd := groupOfMS[src], groupOfMS[dst]
-		if gs == gd {
-			continue // same group: no backbone involvement
+		ok := usable(gs) && usable(gd)
+		if ok && gs != gd && !bb.HasRoute(bsGroups[gs], bsGroups[gd]) {
+			ok = false
 		}
-		if len(bsGroups[gs]) == 0 || len(bsGroups[gd]) == 0 {
-			continue // already counted as an access failure
+		switch {
+		case ok:
+			infraLoad[gs]++
+			infraLoad[gd]++
+			if gs != gd {
+				if err := bb.AddGroupFlow(bsGroups[gs], bsGroups[gd], 1); err != nil {
+					return nil, fmt.Errorf("routing: backbone flow %d->%d: %w", gs, gd, err)
+				}
+			}
+		case plan != nil:
+			degraded++
+		default:
+			if !usable(gs) {
+				ev.Failures++
+			}
+			if !usable(gd) {
+				ev.Failures++
+			}
 		}
-		if err := bb.AddGroupFlow(bsGroups[gs], bsGroups[gd], 1); err != nil {
-			return nil, fmt.Errorf("routing: backbone flow %d->%d: %w", gs, gd, err)
+	}
+
+	lambdaAccess := math.Inf(1)
+	for g := range msGroups {
+		if infraLoad[g] == 0 {
+			continue
+		}
+		if r := groupService[g] / infraLoad[g]; r < lambdaAccess {
+			lambdaAccess = r
 		}
 	}
 	lambdaBackbone := bb.SustainableScale()
@@ -163,26 +205,78 @@ func (s SchemeB) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 	ev.Detail["lambdaBackbone"] = lambdaBackbone
 	ev.Detail["groups"] = float64(len(msGroups))
 	ev.Detail["accessRT"] = rt
-	if lambdaAccess <= lambdaBackbone {
-		ev.Lambda = lambdaAccess
-		ev.Bottleneck = "access"
-	} else {
+	ev.Detail["liveBS"] = float64(nw.NumLiveBS())
+
+	ev.Lambda = lambdaAccess
+	ev.Bottleneck = "access"
+	if lambdaBackbone < ev.Lambda {
 		ev.Lambda = lambdaBackbone
 		ev.Bottleneck = "backbone"
+	}
+
+	// Degraded pairs ride the fallback wireless transport. Its rate is
+	// evaluated on the full permutation (wireless transport sustains the
+	// same order on any sub-pattern); the slowest transport in use
+	// bounds the uniform per-pair rate.
+	if plan != nil {
+		fb := s.Fallback
+		if fb == nil {
+			fb = SchemeA{}
+		}
+		lambdaFallback := 0.0
+		if fev, ferr := fb.Evaluate(nw, tr); ferr == nil && fev.Lambda > 0 {
+			lambdaFallback = fev.Lambda
+		}
+		ev.Detail["lambdaFallback"] = lambdaFallback
+		if degraded > 0 {
+			if lambdaFallback > 0 {
+				ev.Degraded = degraded
+				if lambdaFallback < ev.Lambda {
+					ev.Lambda = lambdaFallback
+					ev.Bottleneck = "fallback"
+				}
+			} else {
+				// Not even the fallback transport can serve these pairs:
+				// shed them, keep serving the infrastructure-routable rest.
+				ev.Dropped = degraded
+			}
+		}
+		// The scheme may also abandon the crippled infrastructure
+		// entirely: if routing every pair over the fallback beats the
+		// mixed plan, it does, so the rate never falls below the pure
+		// ad hoc floor while a working fallback exists.
+		if lambdaFallback > 0 && lambdaFallback > ev.Lambda {
+			ev.Lambda = lambdaFallback
+			ev.Bottleneck = "fallback"
+			ev.Degraded = len(tr.DestOf)
+			ev.Dropped = 0
+		}
+	}
+
+	if math.IsInf(ev.Lambda, 1) {
+		if ev.Failures == 0 && ev.Dropped == 0 {
+			return nil, fmt.Errorf("routing: scheme B found no loaded groups")
+		}
+		// Every pair failed or was dropped; nothing is served.
+		ev.Lambda = 0
+		if ev.Dropped > 0 {
+			ev.Bottleneck = "dropped"
+		}
 	}
 	return finish(ev), nil
 }
 
 // defaultSquareletSide picks the largest constant tessellation (up to
 // 4x4, Definition 12 only requires constant element area) whose every
-// squarelet contains at least one BS. At the asymptotic scale every
+// squarelet contains at least one live BS. At the asymptotic scale every
 // choice works w.h.p. (k = omega(1) BSs per constant-area squarelet);
 // at finite n a too-fine grid leaves squarelets BS-less.
 func defaultSquareletSide(nw *network.Network) int {
+	livePos, _ := nw.LiveBSPositions()
 	for side := 4; side >= 2; side-- {
 		g := geom.NewGridCells(side)
 		counts := make([]int, g.NumCells())
-		for _, y := range nw.BSPos {
+		for _, y := range livePos {
 			counts[g.CellIndexOf(y)]++
 		}
 		ok := true

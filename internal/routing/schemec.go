@@ -20,10 +20,22 @@ import (
 // symmetric uplink and downlink channels; inter-cell traffic rides the
 // wired backbone. Theorem 9 shows it achieves
 // Theta(min(k^2 c/n, k/n)).
+//
+// Under an installed fault plan each cell is served by its nearest
+// *live* BS; a pair whose direct backbone edge is down is rerouted over
+// a two-hop wired relay through an intermediate live BS, and a pair
+// with no wired route at all falls back to the BS-free Fallback
+// transport. Rerouted and fallback-served pairs are counted in
+// Evaluation.Degraded; pairs no transport can serve in
+// Evaluation.Dropped.
 type SchemeC struct {
 	// Delta is the protocol-model guard factor; negative selects the
 	// default.
 	Delta float64
+	// Fallback serves pairs with no wired route under faults; nil
+	// selects GridMultihop (the BS-free static transport of Corollary
+	// 3, matching scheme C's low-mobility regime).
+	Fallback Scheme
 }
 
 // Name implements Scheme.
@@ -42,16 +54,22 @@ func (s SchemeC) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 	if delta < 0 {
 		delta = interference.DefaultDelta
 	}
+	plan := nw.Faults()
+	livePos, liveIDs := nw.LiveBSPositions()
+	if len(liveIDs) == 0 {
+		// Total infrastructure outage: every pair rides the fallback.
+		return s.allFallback(nw, tr)
+	}
 
 	// One hexagonal cell per BS (Definition 13 places a BS at each cell
 	// center; we invert: tessellate to ~k cells and serve each cell by
-	// the nearest BS).
+	// the nearest live BS).
 	hex := geom.NewHexGridCells(k)
 	centers := make([]geom.Point, hex.NumCells())
 	cellBS := make([]int, hex.NumCells())
 	for idx := range centers {
 		centers[idx] = hex.Center(hex.ColRow(idx))
-		cellBS[idx] = nearestBS(nw.BSPos, centers[idx])
+		cellBS[idx] = liveIDs[nearestBS(livePos, centers[idx])]
 	}
 
 	// TDMA grouping: cells conflict when a transmission in one can reach
@@ -64,16 +82,71 @@ func (s SchemeC) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 	}
 	duty := sched.DutyCycle()
 
+	// Backbone between the serving BSs of source and destination cells,
+	// with surviving edge capacities.
+	bb, err := backbone.New(k, nw.Cfg.Params.BandwidthC())
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	if plan != nil || nw.BSAlive != nil {
+		if err := bb.ApplyFaults(plan, nw.BSAlive); err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
+	}
+	// routeVia finds the wired path for a pair: the direct edge when
+	// usable, else a two-hop relay through an intermediate live BS
+	// (scanned from a pair-dependent offset so reroutes spread over the
+	// surviving BSs). ok=false means no wired route exists.
+	routeVia := func(bsS, bsD int) (via int, ok bool) {
+		if bsS == bsD || bb.EdgeUsable(bsS, bsD) {
+			return -1, true
+		}
+		start := (bsS + bsD) % len(liveIDs)
+		for i := range liveIDs {
+			w := liveIDs[(start+i)%len(liveIDs)]
+			if w != bsS && w != bsD && bb.EdgeUsable(bsS, w) && bb.EdgeUsable(w, bsD) {
+				return w, true
+			}
+		}
+		return -1, false
+	}
+
 	// Access accounting: uplink load = sources homed in the cell,
 	// downlink load = destinations homed in the cell; each direction
-	// gets half the active-slot bandwidth.
+	// gets half the active-slot bandwidth. Pairs with no wired route
+	// skip the cells entirely and ride the fallback.
 	upLoad := make([]float64, hex.NumCells())
 	downLoad := make([]float64, hex.NumCells())
 	homes := nw.HomePoints()
+	reroutes := 0
+	fallbackPairs := 0
 	for src, dst := range tr.DestOf {
-		upLoad[hex.CellIndexOf(homes[src])]++
-		downLoad[hex.CellIndexOf(homes[dst])]++
+		cs := hex.CellIndexOf(homes[src])
+		cd := hex.CellIndexOf(homes[dst])
+		bsS, bsD := cellBS[cs], cellBS[cd]
+		via, ok := routeVia(bsS, bsD)
+		if !ok {
+			fallbackPairs++
+			continue
+		}
+		upLoad[cs]++
+		downLoad[cd]++
+		if bsS == bsD {
+			continue
+		}
+		if via < 0 {
+			err = bb.AddLoad(bsS, bsD, 1)
+		} else {
+			reroutes++
+			if err = bb.AddLoad(bsS, via, 1); err == nil {
+				err = bb.AddLoad(via, bsD, 1)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
 	}
+
 	lambdaAccess := math.Inf(1)
 	for c := range centers {
 		for _, load := range []float64{upLoad[c], downLoad[c]} {
@@ -85,25 +158,6 @@ func (s SchemeC) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 			}
 		}
 	}
-	if math.IsInf(lambdaAccess, 1) {
-		return nil, fmt.Errorf("routing: scheme C found no loaded cells")
-	}
-
-	// Backbone between the serving BSs of source and destination cells.
-	bb, err := backbone.New(k, nw.Cfg.Params.BandwidthC())
-	if err != nil {
-		return nil, fmt.Errorf("routing: %w", err)
-	}
-	for src, dst := range tr.DestOf {
-		bsS := cellBS[hex.CellIndexOf(homes[src])]
-		bsD := cellBS[hex.CellIndexOf(homes[dst])]
-		if bsS == bsD {
-			continue
-		}
-		if err := bb.AddLoad(bsS, bsD, 1); err != nil {
-			return nil, fmt.Errorf("routing: %w", err)
-		}
-	}
 	lambdaBackbone := bb.SustainableScale()
 
 	ev := &Evaluation{Detail: map[string]float64{
@@ -111,13 +165,83 @@ func (s SchemeC) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 		"lambdaBackbone": lambdaBackbone,
 		"cells":          float64(hex.NumCells()),
 		"tdmaGroups":     float64(sched.NumGroups),
+		"liveBS":         float64(len(liveIDs)),
 	}}
-	if lambdaAccess <= lambdaBackbone {
-		ev.Lambda = lambdaAccess
-		ev.Bottleneck = "access"
-	} else {
+	ev.Degraded = reroutes
+	if reroutes > 0 {
+		ev.Detail["wiredReroutes"] = float64(reroutes)
+	}
+	ev.Lambda = lambdaAccess
+	ev.Bottleneck = "access"
+	if lambdaBackbone < ev.Lambda {
 		ev.Lambda = lambdaBackbone
 		ev.Bottleneck = "backbone"
+	}
+
+	if plan != nil || nw.BSAlive != nil {
+		lambdaFallback := 0.0
+		if fev, ferr := s.fallback().Evaluate(nw, tr); ferr == nil && fev.Lambda > 0 {
+			lambdaFallback = fev.Lambda
+		}
+		ev.Detail["lambdaFallback"] = lambdaFallback
+		if fallbackPairs > 0 {
+			ev.Detail["fallbackPairs"] = float64(fallbackPairs)
+			if lambdaFallback > 0 {
+				ev.Degraded += fallbackPairs
+				if lambdaFallback < ev.Lambda {
+					ev.Lambda = lambdaFallback
+					ev.Bottleneck = "fallback"
+				}
+			} else {
+				ev.Dropped = fallbackPairs
+			}
+		}
+		// As in scheme B, abandoning the crippled infrastructure for the
+		// fallback is always an option, flooring the rate at the BS-free
+		// transport's.
+		if lambdaFallback > 0 && lambdaFallback > ev.Lambda {
+			ev.Lambda = lambdaFallback
+			ev.Bottleneck = "fallback"
+			ev.Degraded = len(tr.DestOf)
+			ev.Dropped = 0
+		}
+	}
+
+	if math.IsInf(ev.Lambda, 1) {
+		if ev.Dropped == 0 {
+			return nil, fmt.Errorf("routing: scheme C found no loaded cells")
+		}
+		ev.Lambda = 0
+		ev.Bottleneck = "dropped"
+	}
+	return finish(ev), nil
+}
+
+func (s SchemeC) fallback() Scheme {
+	if s.Fallback != nil {
+		return s.Fallback
+	}
+	return GridMultihop{}
+}
+
+// allFallback handles a total BS outage: scheme C's own machinery is
+// inert and every pair is served (or shed) by the fallback transport.
+func (s SchemeC) allFallback(nw *network.Network, tr *traffic.Pattern) (*Evaluation, error) {
+	ev := &Evaluation{Detail: map[string]float64{"liveBS": 0}}
+	pairs := len(tr.DestOf)
+	lambdaFallback := 0.0
+	if fev, ferr := s.fallback().Evaluate(nw, tr); ferr == nil && fev.Lambda > 0 {
+		lambdaFallback = fev.Lambda
+	}
+	ev.Detail["lambdaFallback"] = lambdaFallback
+	if lambdaFallback > 0 {
+		ev.Degraded = pairs
+		ev.Lambda = lambdaFallback
+		ev.Bottleneck = "fallback"
+	} else {
+		ev.Dropped = pairs
+		ev.Lambda = 0
+		ev.Bottleneck = "dropped"
 	}
 	return finish(ev), nil
 }

@@ -39,7 +39,10 @@ func (s TwoHopRelay) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evalua
 	if maxRelays <= 0 {
 		maxRelays = 256
 	}
-	a := linkcap.NewAnalytic(nw, s.CT)
+	a, err := linkcap.NewAnalytic(nw, s.CT)
+	if err != nil {
+		return nil, fmt.Errorf("routing: two-hop relay: %w", err)
+	}
 	homes := nw.HomePoints()
 	ix := spatial.New(homes, a.Reach())
 	rnd := rng.New(0x2).Derive("twohop").Rand()

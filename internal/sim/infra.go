@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"hybridcap/internal/geom"
 	"hybridcap/internal/network"
@@ -32,23 +33,48 @@ type InfraConfig struct {
 	UplinksPerBS int
 	// Seed drives packet injection.
 	Seed uint64
+	// TTL drops a packet still queued TTL slots after injection; zero
+	// disables expiry.
+	TTL int
+	// MaxRetries bounds how many times a waiting downlink packet may
+	// re-home to the next-nearest live BS after its backoff runs out.
+	// Zero selects 2; negative disables re-homing. Re-homing only
+	// activates when the network carries a fault plan.
+	MaxRetries int
+	// RetryBackoff is the wait in slots before the first re-home,
+	// doubling on each retry (bounded exponential backoff); zero
+	// selects 64.
+	RetryBackoff int
 }
 
 // InfraReport summarizes an infrastructure packet run.
 type InfraReport struct {
 	PacketReport
 	// MeanBackboneHops is the mean number of wired hops per delivered
-	// packet (always 1 on the complete BS graph, kept for generality).
+	// packet (1 on a healthy run; re-homing retries add hops).
 	MeanBackboneHops float64
+	// Dropped counts measured packets expired by TTL.
+	Dropped int
+	// Retries counts measured downlink re-homes to a farther live BS.
+	Retries int
+	// Erasures counts measured transmission opportunities lost to the
+	// fault plan's per-slot wireless erasures.
+	Erasures int
 }
 
 type infraPacket struct {
-	dst  int32
-	born int32
+	dst     int32
+	born    int32
+	bs      int32 // BS whose downlink queue the packet targets
+	moved   int32 // slot the packet arrived at its current queue
+	retries int16
 }
 
 // RunInfrastructure simulates scheme-B-style transport at packet level.
-// It mutates the network's mobility state.
+// It mutates the network's mobility state. Under a fault plan
+// (network.Config.Faults) only live BSs serve traffic, per-slot wireless
+// erasures void transmission opportunities, and downlink packets that
+// wait out their backoff re-home to the next-nearest live BS.
 func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig) (*InfraReport, error) {
 	if nw == nil || tr == nil {
 		return nil, fmt.Errorf("sim: nil network or traffic")
@@ -58,6 +84,10 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	}
 	if nw.NumBS() == 0 {
 		return nil, fmt.Errorf("sim: infrastructure run needs base stations")
+	}
+	livePos, liveIDs := nw.LiveBSPositions()
+	if len(liveIDs) == 0 {
+		return nil, fmt.Errorf("sim: all %d base stations are down", nw.NumBS())
 	}
 	if cfg.Slots <= 0 {
 		return nil, fmt.Errorf("sim: need positive slot count")
@@ -74,15 +104,46 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	if uplinks <= 0 {
 		uplinks = 1
 	}
+	plan := nw.Faults()
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 2
+	}
+	if maxRetries < 0 || plan == nil {
+		maxRetries = 0
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 64
+	}
 	injRand := rng.New(cfg.Seed).Derive("inject-infra").Rand()
 
-	// Precompute the serving (home) BS of every MS: the BS nearest its
-	// home-point, where downlink packets wait.
-	bsIx := spatial.New(nw.BSPos, rt)
+	// Precompute the serving (home) BS of every MS: the live BS nearest
+	// its home-point, where downlink packets wait.
+	bsIx := spatial.New(livePos, rt)
+	homes := nw.HomePoints()
 	homeBS := make([]int32, n)
-	for i, h := range nw.HomePoints() {
+	for i, h := range homes {
 		j, _ := bsIx.Nearest(h, nil)
-		homeBS[i] = int32(j)
+		homeBS[i] = int32(liveIDs[j])
+	}
+	// bsOrder lazily ranks the live BSs by distance from a destination's
+	// home-point; entry r is the packet's target after r re-homes.
+	orderCache := map[int32][]int32{}
+	bsOrder := func(dst int32) []int32 {
+		if ord, ok := orderCache[dst]; ok {
+			return ord
+		}
+		ord := make([]int32, len(liveIDs))
+		for i, b := range liveIDs {
+			ord[i] = int32(b)
+		}
+		h := homes[dst]
+		sort.Slice(ord, func(a, b int) bool {
+			return geom.Dist2(nw.BSPos[ord[a]], h) < geom.Dist2(nw.BSPos[ord[b]], h)
+		})
+		orderCache[dst] = ord
+		return ord
 	}
 
 	srcQ := make([][]infraPacket, n)           // at the source MS, waiting for uplink
@@ -91,13 +152,22 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	transitQ = append(transitQ, nil)
 
 	rep := &InfraReport{}
-	var delaySum float64
+	var delaySum, hopSum float64
+	expired := func(p infraPacket, slot int, measuring bool) bool {
+		if cfg.TTL <= 0 || slot-int(p.born) <= cfg.TTL {
+			return false
+		}
+		if measuring {
+			rep.Dropped++
+		}
+		return true
+	}
 	pos := make([]geom.Point, 0, n)
 	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {
 		measuring := slot >= cfg.Warmup
 		for i := 0; i < n; i++ {
 			if injRand.Float64() < cfg.Lambda {
-				srcQ[i] = append(srcQ[i], infraPacket{dst: int32(tr.DestOf[i]), born: int32(slot)})
+				srcQ[i] = append(srcQ[i], infraPacket{dst: int32(tr.DestOf[i]), born: int32(slot), bs: homeBS[tr.DestOf[i]]})
 				if measuring {
 					rep.Injected++
 				}
@@ -106,48 +176,84 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 		nw.Step()
 		pos = nw.MSPositions(pos)
 
-		// Backbone: packets handed over last slot arrive at their
-		// destination BS queue now.
+		// Backbone: packets handed over last slot arrive at their target
+		// BS queue now.
 		arriving := transitQ[0]
 		transitQ[0] = nil
 		for _, p := range arriving {
-			b := homeBS[p.dst]
-			downQ[b] = append(downQ[b], p)
+			if expired(p, slot, measuring) {
+				continue
+			}
+			p.moved = int32(slot)
+			downQ[p.bs] = append(downQ[p.bs], p)
 		}
 
-		// Uplink: each BS absorbs up to uplinks packets from MSs in
-		// range (TDMA within the cell, one transmission at a time).
+		// Uplink: each live BS absorbs up to uplinks packets from MSs in
+		// range (TDMA within the cell, one transmission at a time). An
+		// erased MS loses its opportunity for the slot.
 		msIx := spatial.New(pos, rt)
 		var handover []infraPacket
-		for b, y := range nw.BSPos {
+		for _, b := range liveIDs {
 			budget := uplinks
-			msIx.ForEachWithin(y, rt, func(i int) bool {
+			msIx.ForEachWithin(nw.BSPos[b], rt, func(i int) bool {
+				if len(srcQ[i]) > 0 && plan != nil && plan.Erased(slot, i) {
+					if measuring {
+						rep.Erasures++
+					}
+					return budget > 0
+				}
 				for budget > 0 && len(srcQ[i]) > 0 {
-					handover = append(handover, srcQ[i][0])
+					p := srcQ[i][0]
 					srcQ[i] = srcQ[i][1:]
+					if !expired(p, slot, measuring) {
+						handover = append(handover, p)
+					}
 					budget--
 				}
 				return budget > 0
 			})
-			_ = b
 		}
 		transitQ[0] = append(transitQ[0], handover...)
 
-		// Downlink: each BS delivers up to uplinks packets to
-		// destinations currently in range.
-		for b, y := range nw.BSPos {
+		// Downlink: each live BS delivers up to uplinks packets to
+		// destinations currently in range. A waiting packet whose backoff
+		// ran out re-homes to the next-nearest live BS over the backbone.
+		for _, b := range liveIDs {
 			budget := uplinks
 			q := downQ[b]
 			var rest []infraPacket
 			for _, p := range q {
-				if budget > 0 && geom.Dist(pos[p.dst], y) <= rt {
+				if expired(p, slot, measuring) {
+					continue
+				}
+				if budget > 0 && geom.Dist(pos[p.dst], nw.BSPos[b]) <= rt {
+					if plan != nil && plan.Erased(slot, int(p.dst)) {
+						if measuring {
+							rep.Erasures++
+						}
+						rest = append(rest, p)
+						continue
+					}
 					budget--
 					if measuring {
 						rep.Delivered++
 						delaySum += float64(slot - int(p.born))
-						rep.MeanBackboneHops++ // one wired hop per packet
+						hopSum += float64(1 + int(p.retries))
 					}
 					continue
+				}
+				if maxRetries > 0 && int(p.retries) < maxRetries &&
+					slot-int(p.moved) >= backoff<<uint(p.retries) {
+					if ord := bsOrder(p.dst); int(p.retries)+1 < len(ord) {
+						p.retries++
+						p.bs = ord[p.retries]
+						p.moved = int32(slot)
+						if measuring {
+							rep.Retries++
+						}
+						transitQ[0] = append(transitQ[0], p)
+						continue
+					}
 				}
 				rest = append(rest, p)
 			}
@@ -156,7 +262,7 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	}
 	if rep.Delivered > 0 {
 		rep.MeanDelay = delaySum / float64(rep.Delivered)
-		rep.MeanBackboneHops /= float64(rep.Delivered)
+		rep.MeanBackboneHops = hopSum / float64(rep.Delivered)
 	}
 	rep.DeliveredRate = float64(rep.Delivered) / float64(n) / float64(cfg.Slots)
 	backlog := 0

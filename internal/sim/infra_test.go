@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"hybridcap/internal/faults"
 	"hybridcap/internal/network"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/scaling"
@@ -84,6 +85,73 @@ func TestRunInfrastructureErrors(t *testing.T) {
 	nwFree := simNet(t, bsFree, 32, network.IID)
 	if _, err := RunInfrastructure(nwFree, tr, InfraConfig{Lambda: 0.1, Slots: 1}); err == nil {
 		t.Error("BS-free network accepted")
+	}
+}
+
+func faultedNet(t *testing.T, p scaling.Params, seed uint64, fc faults.Config) *network.Network {
+	t.Helper()
+	plan, err := faults.New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := network.New(network.Config{Params: p, Seed: seed, Mobility: network.IID, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestRunInfrastructureAllBSDownErrors(t *testing.T) {
+	p := infraParams(64)
+	nw := faultedNet(t, p, 34, faults.Config{Seed: 1, BSOutageFraction: 1})
+	tr, _ := traffic.NewPermutation(p.N, rng.New(34).Rand())
+	if _, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: 0.1, Slots: 1}); err == nil {
+		t.Error("total BS outage accepted")
+	}
+}
+
+// Under a partial outage plus erasures the run must still deliver,
+// targeting only live BSs and surfacing the fault counters.
+func TestRunInfrastructureDegradesUnderFaults(t *testing.T) {
+	p := infraParams(512)
+	nw := faultedNet(t, p, 35, faults.Config{Seed: 2, BSOutageFraction: 0.5, WirelessErasure: 0.2})
+	tr, err := traffic.NewPermutation(p.N, rng.New(35).Derive("traffic").Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: 0.002, Slots: 3000, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered == 0 {
+		t.Fatalf("nothing delivered under partial outage: %+v", rep)
+	}
+	if rep.Erasures == 0 {
+		t.Error("20% erasure rate produced no counted erasures")
+	}
+	if rep.MeanBackboneHops < 1 {
+		t.Errorf("MeanBackboneHops = %v, want >= 1", rep.MeanBackboneHops)
+	}
+}
+
+// A tight TTL sheds packets instead of queuing them forever, and the
+// drop counter accounts for the shed traffic.
+func TestRunInfrastructureTTLDrops(t *testing.T) {
+	p := infraParams(256)
+	nw := faultedNet(t, p, 36, faults.Config{Seed: 3, BSOutageFraction: 0.5})
+	tr, err := traffic.NewPermutation(p.N, rng.New(36).Derive("traffic").Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunInfrastructure(nw, tr, InfraConfig{Lambda: 0.01, Slots: 2000, Seed: 36, TTL: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Errorf("TTL 50 dropped nothing: %+v", rep)
+	}
+	if rep.Delivered == 0 {
+		t.Errorf("TTL 50 delivered nothing: %+v", rep)
 	}
 }
 

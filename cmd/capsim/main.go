@@ -11,6 +11,15 @@
 // deterministic fault plan (seeded by -fault-seed) before evaluation,
 // and -outage-curve sweeps the BS outage fraction from 0 to 1 printing
 // the capacity-vs-outage curve for every selected scheme.
+//
+// Benchmarking: -bench skips the single-instance evaluation and runs
+// the benchmark trajectory instead — the Table-I sweep timed once at
+// Workers=1 and once at -workers (0 = all CPU cores), verified for
+// bit-identical results, with wall time, cells/sec and speedup upserted
+// into -bench-out (BENCH_sweep.json by default):
+//
+//	capsim -bench                 # all cores
+//	capsim -bench -workers 4      # bounded pool
 package main
 
 import (
@@ -18,10 +27,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"hybridcap/internal/benchio"
 	"hybridcap/internal/capacity"
+	"hybridcap/internal/experiments"
 	"hybridcap/internal/faults"
+	"hybridcap/internal/mobility"
 	"hybridcap/internal/network"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/routing"
@@ -52,8 +66,17 @@ func run() error {
 		erasure     = flag.Float64("erasure", 0, "per-slot wireless erasure probability (packet sims)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
 		outageCurve = flag.Bool("outage-curve", false, "sweep the BS outage fraction 0..1 and print the capacity curve")
+		workers     = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores); results are identical for every worker count")
+		bench       = flag.Bool("bench", false, "run the benchmark trajectory (serial vs parallel Table-I sweep) and write -bench-out")
+		benchOut    = flag.String("bench-out", benchio.DefaultPath, "benchmark trajectory JSON path (with -bench)")
+		benchSeeds  = flag.Int("bench-seeds", 4, "seeds per grid point for -bench")
+		benchQuick  = flag.Bool("bench-quick", true, "with -bench: small sweep sizes (seconds, not minutes)")
 	)
 	flag.Parse()
+
+	if *bench {
+		return runBench(*workers, *benchSeeds, *benchQuick, *benchOut)
+	}
 
 	p := scaling.Params{N: *n, Alpha: *alpha, K: *kExp, Phi: *phi, M: *mExp, R: *rExp}
 	if err := p.Validate(); err != nil {
@@ -143,6 +166,74 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runBench runs the benchmark trajectory: the Table-I sweep timed at
+// Workers=1 and at the requested pool size, checked for identical
+// results, with the headline numbers printed and upserted into the
+// trajectory file.
+func runBench(workers, seeds int, quick bool, outPath string) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	opts := experiments.Options{Quick: quick, Seeds: seeds, Workers: 1}
+	fmt.Printf("benchmark trajectory: T1 sweep, %d seeds/point, quick=%v\n", seeds, quick)
+
+	t0 := time.Now()
+	serialRes, err := experiments.Table1(opts)
+	if err != nil {
+		return err
+	}
+	serial := time.Since(t0)
+	fmt.Printf("workers=1:  %8.3fs\n", serial.Seconds())
+
+	opts.Workers = workers
+	statsBefore := mobility.ReadCacheStats()
+	t0 = time.Now()
+	parRes, err := experiments.Table1(opts)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+	statsAfter := mobility.ReadCacheStats()
+
+	cells := 0
+	for i, s := range parRes.Series {
+		ref := serialRes.Series[i]
+		for j := 0; j < s.Len(); j++ {
+			cells += s.Attempts[j]
+			if s.X[j] != ref.X[j] || s.Y[j] != ref.Y[j] {
+				return fmt.Errorf("serial and parallel results drifted at series %q point %d", s.Name, j)
+			}
+		}
+	}
+	speedup := serial.Seconds() / wall.Seconds()
+	fmt.Printf("workers=%d: %8.3fs  (%d cells, %.1f cells/s, speedup %.2fx, cache %d hits / %d misses)\n",
+		workers, wall.Seconds(), cells, float64(cells)/wall.Seconds(), speedup,
+		statsAfter.Hits-statsBefore.Hits, statsAfter.Misses-statsBefore.Misses)
+
+	rec := benchio.Record{
+		Name:          "capsim-bench-T1",
+		Experiment:    "T1",
+		Workers:       workers,
+		Cells:         cells,
+		WallSeconds:   wall.Seconds(),
+		CellsPerSec:   float64(cells) / wall.Seconds(),
+		SerialSeconds: serial.Seconds(),
+		Speedup:       speedup,
+		Fits:          map[string]float64{},
+		CacheHits:     statsAfter.Hits - statsBefore.Hits,
+		CacheMisses:   statsAfter.Misses - statsBefore.Misses,
+		UpdatedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	for name, fit := range parRes.Fits {
+		rec.Fits[name] = fit.Exponent
+	}
+	if err := benchio.Upsert(outPath, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }
 

@@ -25,13 +25,14 @@ func main() {
 
 func run() error {
 	var (
-		ids   = flag.String("run", "F1,F2,F3L,F3R", "comma-separated experiment ids, or 'all'")
-		out   = flag.String("out", "out", "output directory for CSV/TXT artifacts")
-		quick = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		seeds = flag.Int("seeds", 0, "seeds per data point (0 = default)")
+		ids     = flag.String("run", "F1,F2,F3L,F3R", "comma-separated experiment ids, or 'all'")
+		out     = flag.String("out", "out", "output directory for CSV/TXT artifacts")
+		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		seeds   = flag.Int("seeds", 0, "seeds per data point (0 = default)")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores); results are identical for every worker count")
 	)
 	flag.Parse()
-	opts := experiments.Options{Quick: *quick, Seeds: *seeds}
+	opts := experiments.Options{Quick: *quick, Seeds: *seeds, Workers: *workers}
 
 	var selected []string
 	if *ids == "all" {

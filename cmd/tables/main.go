@@ -25,12 +25,13 @@ func main() {
 
 func run() error {
 	var (
-		out   = flag.String("out", "out", "output directory for CSV/TXT artifacts")
-		quick = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		seeds = flag.Int("seeds", 0, "seeds per data point (0 = default)")
+		out     = flag.String("out", "out", "output directory for CSV/TXT artifacts")
+		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		seeds   = flag.Int("seeds", 0, "seeds per data point (0 = default)")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores); results are identical for every worker count")
 	)
 	flag.Parse()
-	res, err := experiments.Table1(experiments.Options{Quick: *quick, Seeds: *seeds})
+	res, err := experiments.Table1(experiments.Options{Quick: *quick, Seeds: *seeds, Workers: *workers})
 	if err != nil {
 		return err
 	}

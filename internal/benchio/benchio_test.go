@@ -1,0 +1,94 @@
+package benchio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadMissingFile(t *testing.T) {
+	f, err := Read(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != Schema || len(f.Records) != 0 {
+		t.Errorf("missing file should read as empty document, got %+v", f)
+	}
+}
+
+func TestUpsertRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "BENCH_sweep.json")
+	a := Record{
+		Name: "BenchmarkTable1", Experiment: "T1", Workers: 8, Cells: 60,
+		WallSeconds: 1.5, CellsPerSec: 40, SerialSeconds: 6, Speedup: 4,
+		Fits: map[string]float64{"strong-noBS": -0.44},
+	}
+	if err := Upsert(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b := Record{Name: "capsim-T1", Workers: 4, WallSeconds: 2}
+	if err := Upsert(path, b); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing by name keeps the other record and the order.
+	a2 := a
+	a2.Speedup = 4.5
+	if err := Upsert(path, a2); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(f.Records))
+	}
+	got, ok := f.Lookup("BenchmarkTable1")
+	if !ok || got.Speedup != 4.5 || got.Fits["strong-noBS"] != -0.44 {
+		t.Errorf("lookup after replace = %+v ok=%v", got, ok)
+	}
+	if f.Records[0].Name != "BenchmarkTable1" || f.Records[1].Name != "capsim-T1" {
+		t.Errorf("order not preserved: %q, %q", f.Records[0].Name, f.Records[1].Name)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("file should end with a newline")
+	}
+	if !strings.Contains(string(data), `"schema": 1`) {
+		t.Errorf("schema missing from:\n%s", data)
+	}
+}
+
+func TestWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_sweep.json")
+	if err := Upsert(path, Record{Name: "x", WallSeconds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "BENCH_sweep.json" {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("directory contents %v, want only BENCH_sweep.json", names)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Error("garbage file should fail to parse")
+	}
+}

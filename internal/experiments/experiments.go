@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"hybridcap/internal/measure"
 	"hybridcap/internal/network"
@@ -46,6 +47,12 @@ type Options struct {
 	Seeds int
 	// Quick shrinks defaults for use in unit tests and smoke runs.
 	Quick bool
+	// Workers bounds the number of goroutines evaluating grid cells
+	// concurrently; zero selects runtime.NumCPU(). Results are
+	// byte-identical for every worker count: seeds are pre-derived from
+	// the splittable rng and merged in grid order, so scheduling cannot
+	// leak into the output.
+	Workers int
 }
 
 func (o Options) seeds() int {
@@ -56,6 +63,13 @@ func (o Options) seeds() int {
 		return 2
 	}
 	return 3
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
 }
 
 func (o Options) sizes(def, quick []int) []int {

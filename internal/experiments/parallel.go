@@ -1,0 +1,45 @@
+package experiments
+
+import "sync"
+
+// forEachIndex runs fn(0..n-1) on a bounded pool of workers goroutines
+// and returns when every call has finished. Each index is dispatched
+// exactly once; fn writes its result into a caller-owned slot for that
+// index, so no further synchronization is needed and the caller can
+// merge results in index order regardless of scheduling. With workers
+// <= 1 (or a single index) the calls run inline on the caller's
+// goroutine, making the serial path identical to the pre-parallel code.
+func forEachIndex(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

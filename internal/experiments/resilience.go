@@ -35,28 +35,44 @@ func Resilience(o Options) (*Result, error) {
 	fractions := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95, 1}
 	scheme := routing.SchemeB{Fallback: routing.SchemeA{}}
 
+	type seedOutcome struct {
+		lambda             float64
+		degraded, dropped  int
+		err                error
+	}
 	evalAt := func(fc faults.Config) (lambda float64, degraded, dropped int, err error) {
-		sum := 0.0
-		for s := 0; s < o.seeds(); s++ {
+		outcomes := make([]seedOutcome, o.seeds())
+		forEachIndex(o.workers(), o.seeds(), func(s int) {
 			plan, perr := faults.New(fc)
 			if perr != nil {
-				return 0, 0, 0, perr
+				outcomes[s] = seedOutcome{err: perr}
+				return
 			}
 			nw, nerr := network.New(network.Config{Params: p, Seed: uint64(90 + s), BSPlacement: network.Grid, Faults: plan})
 			if nerr != nil {
-				return 0, 0, 0, nerr
+				outcomes[s] = seedOutcome{err: nerr}
+				return
 			}
 			tr, terr := trafficFor(p.N, uint64(90+s))
 			if terr != nil {
-				return 0, 0, 0, terr
+				outcomes[s] = seedOutcome{err: terr}
+				return
 			}
 			ev, eerr := scheme.Evaluate(nw, tr)
 			if eerr != nil {
-				return 0, 0, 0, eerr
+				outcomes[s] = seedOutcome{err: eerr}
+				return
 			}
-			sum += ev.Lambda
-			degraded += ev.Degraded
-			dropped += ev.Dropped
+			outcomes[s] = seedOutcome{lambda: ev.Lambda, degraded: ev.Degraded, dropped: ev.Dropped}
+		})
+		sum := 0.0
+		for _, out := range outcomes {
+			if out.err != nil {
+				return 0, 0, 0, out.err
+			}
+			sum += out.lambda
+			degraded += out.degraded
+			dropped += out.dropped
 		}
 		return sum / float64(o.seeds()), degraded / o.seeds(), dropped / o.seeds(), nil
 	}
@@ -67,17 +83,26 @@ func Resilience(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	floorSum := 0.0
-	for s := 0; s < o.seeds(); s++ {
+	floors := make([]seedOutcome, o.seeds())
+	forEachIndex(o.workers(), o.seeds(), func(s int) {
 		nw, tr, ierr := instance(p, uint64(90+s), network.Grid)
 		if ierr != nil {
-			return nil, ierr
+			floors[s] = seedOutcome{err: ierr}
+			return
 		}
 		ev, eerr := (routing.SchemeA{}).Evaluate(nw, tr)
 		if eerr != nil {
-			return nil, eerr
+			floors[s] = seedOutcome{err: eerr}
+			return
 		}
-		floorSum += ev.Lambda
+		floors[s] = seedOutcome{lambda: ev.Lambda}
+	})
+	floorSum := 0.0
+	for _, out := range floors {
+		if out.err != nil {
+			return nil, out.err
+		}
+		floorSum += out.lambda
 	}
 	floor := floorSum / float64(o.seeds())
 	res.Rows = append(res.Rows,

@@ -139,17 +139,26 @@ func NoBSCapacity(o Options) (*Result, error) {
 		return nil, err
 	}
 	bound := &measure.Series{Name: "cutBound"}
-	for _, n := range sizes {
-		p := base.WithN(n)
+	type boundCell struct {
+		v   float64
+		err error
+	}
+	boundCells := make([]boundCell, len(sizes))
+	forEachIndex(o.workers(), len(sizes), func(i int) {
+		p := base.WithN(sizes[i])
 		nw, tr, err := instance(p, 23, network.Grid)
 		if err != nil {
-			return nil, err
+			boundCells[i] = boundCell{err: err}
+			return
 		}
 		cb, err := EvaluateHalfTorusCut(nw, tr)
-		if err != nil {
-			return nil, err
+		boundCells[i] = boundCell{v: cb, err: err}
+	})
+	for i, n := range sizes {
+		if boundCells[i].err != nil {
+			return nil, boundCells[i].err
 		}
-		bound.Add(float64(n), cb)
+		bound.Add(float64(n), boundCells[i].v)
 	}
 	res.Series = append(res.Series, lam, bound)
 	fit, err := lam.Fit()
@@ -233,20 +242,37 @@ func PlacementInvariance(o Options) (*Result, error) {
 	}
 	series := &measure.Series{Name: "lambda"}
 	vals := map[network.BSPlacement]float64{}
-	for i, placement := range []network.BSPlacement{network.Matched, network.Uniform, network.Grid} {
-		sum := 0.0
-		for s := 0; s < o.seeds(); s++ {
-			nw, tr, err := instance(p, uint64(100*s+25), placement)
-			if err != nil {
-				return nil, err
-			}
-			ev, err := (routing.SchemeB{}).Evaluate(nw, tr)
-			if err != nil {
-				return nil, err
-			}
-			sum += ev.Lambda
+	placements := []network.BSPlacement{network.Matched, network.Uniform, network.Grid}
+	seeds := o.seeds()
+	type placementCell struct {
+		v   float64
+		err error
+	}
+	cells := make([]placementCell, len(placements)*seeds)
+	forEachIndex(o.workers(), len(cells), func(i int) {
+		s := i % seeds
+		nw, tr, err := instance(p, uint64(100*s+25), placements[i/seeds])
+		if err != nil {
+			cells[i] = placementCell{err: err}
+			return
 		}
-		mean := sum / float64(o.seeds())
+		ev, err := (routing.SchemeB{}).Evaluate(nw, tr)
+		if err != nil {
+			cells[i] = placementCell{err: err}
+			return
+		}
+		cells[i] = placementCell{v: ev.Lambda}
+	})
+	for i, placement := range placements {
+		sum := 0.0
+		for s := 0; s < seeds; s++ {
+			c := cells[i*seeds+s]
+			if c.err != nil {
+				return nil, c.err
+			}
+			sum += c.v
+		}
+		mean := sum / float64(seeds)
 		vals[placement] = mean
 		series.Add(float64(i+1), mean)
 		res.Rows = append(res.Rows, fmt.Sprintf("%-8s lambda=%.5g", placement, mean))
@@ -278,13 +304,19 @@ func ClusterIsolation(o Options) (*Result, error) {
 	}
 	series := &measure.Series{Name: "fraction of clusters with close neighbor"}
 	const delta = 1.0
+	seeds := o.seeds()
 	for _, n := range sizes {
 		p := base.WithN(n)
-		frac := 0.0
-		for s := 0; s < o.seeds(); s++ {
+		type isolationCell struct {
+			frac float64
+			err  error
+		}
+		cells := make([]isolationCell, seeds)
+		forEachIndex(o.workers(), seeds, func(s int) {
 			nw, _, err := instance(p, uint64(31+s), network.Matched)
 			if err != nil {
-				return nil, err
+				cells[s] = isolationCell{err: err}
+				return
 			}
 			centers := nw.Placement.ClusterCenters
 			r := p.ClusterRadius()
@@ -297,9 +329,16 @@ func ClusterIsolation(o Options) (*Result, error) {
 					}
 				}
 			}
-			frac += float64(tooClose) / float64(len(centers))
+			cells[s] = isolationCell{frac: float64(tooClose) / float64(len(centers))}
+		})
+		frac := 0.0
+		for s := 0; s < seeds; s++ {
+			if cells[s].err != nil {
+				return nil, cells[s].err
+			}
+			frac += cells[s].frac
 		}
-		frac /= float64(o.seeds())
+		frac /= float64(seeds)
 		series.Add(float64(n), frac)
 		res.Rows = append(res.Rows, fmt.Sprintf("n=%6d m=%4d r=%.4f close-fraction=%.4f",
 			n, p.NumClusters(), p.ClusterRadius(), frac))

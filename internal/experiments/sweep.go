@@ -70,42 +70,99 @@ func safeEval(eval evalFn, nw *network.Network, tr *traffic.Pattern) (v float64,
 	return eval(nw, tr)
 }
 
+// Cell-failure phase tags, so a degraded sweep's error says whether
+// instance construction or scheme evaluation broke.
+const (
+	phaseConstruct = "construct instance"
+	phaseEvaluate  = "evaluate"
+)
+
+// sweepCell is one (size, seed) point of the grid. Seeds are derived
+// up front from the splittable rng, so the cell is self-contained and
+// its result cannot depend on which worker runs it or when.
+type sweepCell struct {
+	sizeIdx int
+	seedIdx int
+	params  scaling.Params
+	seed    uint64
+}
+
+// cellOutcome is the result of evaluating one cell. Err carries the
+// failure phase tag; cells fail independently and the merge decides
+// whether the point (and the sweep) survives.
+type cellOutcome struct {
+	v   float64
+	err error
+}
+
+// runCell builds the cell's instance and evaluates it, tagging failures
+// with their phase.
+func runCell(c sweepCell, placement network.BSPlacement, eval evalFn) cellOutcome {
+	nw, tr, err := instance(c.params, c.seed, placement)
+	if err != nil {
+		return cellOutcome{err: fmt.Errorf("%s: %w", phaseConstruct, err)}
+	}
+	v, err := safeEval(eval, nw, tr)
+	if err != nil {
+		return cellOutcome{err: fmt.Errorf("%s: %w", phaseEvaluate, err)}
+	}
+	return cellOutcome{v: v}
+}
+
 // sweepLambda runs eval over the sizes x seeds grid for the parameter
-// family and returns the mean-lambda series. Failing seeds (errors or
-// panics) are tolerated: the point aggregates the surviving seeds and
-// records its coverage in the series' OK/Attempts counters. Only a
-// point losing every seed aborts the sweep.
+// family and returns the mean-lambda series. The grid cells are
+// embarrassingly parallel: they fan out to a bounded pool of
+// o.Workers goroutines and are merged back in grid order, so the
+// series is byte-identical to a serial run for every worker count.
+// Failing seeds (errors or panics) are tolerated: the point aggregates
+// the surviving seeds and records its coverage in the series'
+// OK/Attempts counters. Only a point losing every seed aborts the
+// sweep, reporting the point's first failure by seed order.
 func sweepLambda(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, eval evalFn) (*measure.Series, error) {
-	series := &measure.Series{Name: name}
+	seeds := o.seeds()
 	src := rng.New(0xE).Derive("sweep").Derive(name)
-	for _, n := range sizes {
+	cells := make([]sweepCell, 0, len(sizes)*seeds)
+	for i, n := range sizes {
 		p := base.WithN(n)
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("experiments: %s at n=%d: %w", name, n, err)
 		}
 		nsrc := src.DeriveN("n", n)
+		for s := 0; s < seeds; s++ {
+			cells = append(cells, sweepCell{
+				sizeIdx: i,
+				seedIdx: s,
+				params:  p,
+				seed:    nsrc.DeriveN("seed", s).Uint64(),
+			})
+		}
+	}
+
+	outcomes := make([]cellOutcome, len(cells))
+	forEachIndex(o.workers(), len(cells), func(i int) {
+		outcomes[i] = runCell(cells[i], placement, eval)
+	})
+
+	series := &measure.Series{Name: name}
+	for i, n := range sizes {
 		sum := 0.0
 		ok := 0
 		var firstErr error
-		for s := 0; s < o.seeds(); s++ {
-			seed := nsrc.DeriveN("seed", s).Uint64()
-			nw, tr, err := instance(p, seed, placement)
-			if err == nil {
-				var v float64
-				if v, err = safeEval(eval, nw, tr); err == nil {
-					sum += v
-					ok++
-					continue
-				}
+		for s := 0; s < seeds; s++ {
+			out := outcomes[i*seeds+s]
+			if out.err == nil {
+				sum += out.v
+				ok++
+				continue
 			}
 			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, s, err)
+				firstErr = fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, s, out.err)
 			}
 		}
 		if ok == 0 {
-			return nil, fmt.Errorf("experiments: %s at n=%d: all %d seeds failed: %w", name, n, o.seeds(), firstErr)
+			return nil, fmt.Errorf("experiments: %s at n=%d: all %d seeds failed: %w", name, n, seeds, firstErr)
 		}
-		series.AddCounted(float64(n), sum/float64(ok), ok, o.seeds())
+		series.AddCounted(float64(n), sum/float64(ok), ok, seeds)
 	}
 	return series, nil
 }

@@ -1,0 +1,120 @@
+package mobility
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// Process-wide, kernel-keyed caches for the two expensive derived
+// structures of a kernel: the inverse-CDF Sampler and the eta
+// convolution table. Both are pure functions of the kernel parameters —
+// not of any network seed — so a sweep over thousands of (n, seed)
+// instances that share a parameter family pays the tabulation cost
+// once instead of once per instance. Entries are built under a
+// per-entry sync.Once, so concurrent first callers of the same kernel
+// block on a single build instead of racing duplicate work.
+//
+// Keys are the Kernel interface values themselves, which is sound for
+// the value-type kernels this package ships (UniformDisk, Cone,
+// TruncGauss, PowerLaw): equal keys imply equal parameters imply equal
+// tables. Kernels must be immutable after first use, as everywhere else
+// in this package. Kernels whose dynamic type is not comparable (e.g. a
+// struct carrying a func field) cannot be map keys; they bypass the
+// cache and are built directly, preserving correctness at the old cost.
+//
+// The caches are never evicted: a process works with a handful of
+// kernel families, and each entry is a few tens of kilobytes.
+
+type samplerEntry struct {
+	once    sync.Once
+	sampler *Sampler
+	err     error
+}
+
+type etaEntry struct {
+	once  sync.Once
+	table *EtaTable
+	err   error
+}
+
+var (
+	samplerCache sync.Map // Kernel -> *samplerEntry
+	etaCache     sync.Map // Kernel -> *etaEntry
+
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	cacheBypasses atomic.Uint64
+)
+
+// cacheable reports whether the kernel's dynamic type can be used as a
+// map key.
+func cacheable(k Kernel) bool {
+	return k != nil && reflect.TypeOf(k).Comparable()
+}
+
+// CachedSampler returns the process-wide shared sampler for the kernel,
+// building it on first use. Identical kernels share one *Sampler;
+// distinct kernels get distinct ones. Construction errors of malformed
+// kernels are cached alongside the entry.
+func CachedSampler(k Kernel) (*Sampler, error) {
+	if !cacheable(k) {
+		cacheBypasses.Add(1)
+		return NewSampler(k)
+	}
+	e, loaded := samplerCache.LoadOrStore(k, &samplerEntry{})
+	entry := e.(*samplerEntry)
+	if loaded {
+		cacheHits.Add(1)
+	} else {
+		cacheMisses.Add(1)
+	}
+	entry.once.Do(func() {
+		entry.sampler, entry.err = NewSampler(k)
+	})
+	return entry.sampler, entry.err
+}
+
+// CachedEtaTable returns the process-wide shared eta table for the
+// kernel, building it on first use. The table is immutable after
+// construction, so sharing it across concurrently evaluated network
+// instances (including instances with fault plans applied) is safe.
+func CachedEtaTable(k Kernel) (*EtaTable, error) {
+	if !cacheable(k) {
+		cacheBypasses.Add(1)
+		return NewEtaTable(k)
+	}
+	e, loaded := etaCache.LoadOrStore(k, &etaEntry{})
+	entry := e.(*etaEntry)
+	if loaded {
+		cacheHits.Add(1)
+	} else {
+		cacheMisses.Add(1)
+	}
+	entry.once.Do(func() {
+		entry.table, entry.err = NewEtaTable(k)
+	})
+	return entry.table, entry.err
+}
+
+// CacheStats is a snapshot of the kernel-cache counters, aggregated
+// over the sampler and eta caches.
+type CacheStats struct {
+	// Hits counts lookups that found an existing entry.
+	Hits uint64
+	// Misses counts lookups that created the entry (and built it).
+	Misses uint64
+	// Bypasses counts constructions for non-comparable kernels that
+	// cannot be cached.
+	Bypasses uint64
+}
+
+// ReadCacheStats returns the current cache counters. Deltas between two
+// snapshots measure the cache behavior of an enclosed workload.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		Hits:     cacheHits.Load(),
+		Misses:   cacheMisses.Load(),
+		Bypasses: cacheBypasses.Load(),
+	}
+}

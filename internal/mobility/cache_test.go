@@ -1,0 +1,154 @@
+package mobility
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCachedSamplerSharing(t *testing.T) {
+	a1, err := CachedSampler(UniformDisk{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := CachedSampler(UniformDisk{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("identical kernels should share one sampler")
+	}
+	b, err := CachedSampler(UniformDisk{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Error("distinct kernel parameters should get distinct samplers")
+	}
+	c, err := CachedSampler(Cone{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == c || b == c {
+		t.Error("distinct kernel types should get distinct samplers")
+	}
+	// Cached entries agree with direct construction.
+	direct, err := NewSampler(UniformDisk{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Mass() != direct.Mass() {
+		t.Errorf("cached mass %v != direct %v", a1.Mass(), direct.Mass())
+	}
+}
+
+func TestCachedSamplerError(t *testing.T) {
+	if _, err := CachedSampler(UniformDisk{D: 0}); err == nil {
+		t.Error("malformed kernel should error")
+	}
+	// The error is cached, not papered over on the second call.
+	if _, err := CachedSampler(UniformDisk{D: 0}); err == nil {
+		t.Error("malformed kernel should keep erroring")
+	}
+}
+
+// TestCachedEtaTableConcurrent hammers the eta cache from many
+// goroutines across two kernel families: every caller of a family must
+// observe the same table pointer, distinct families distinct tables,
+// and the shared tables must agree with direct construction. Run under
+// -race this certifies the per-entry sync.Once construction.
+func TestCachedEtaTableConcurrent(t *testing.T) {
+	kernels := []Kernel{UniformDisk{D: 1}, Cone{D: 1}}
+	const callers = 16
+	got := make([]*EtaTable, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			tab, err := CachedEtaTable(kernels[i%2])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = tab
+		}()
+	}
+	wg.Wait()
+	for i := 2; i < callers; i++ {
+		if got[i] != got[i%2] {
+			t.Errorf("caller %d got a different table than caller %d for the same kernel", i, i%2)
+		}
+	}
+	if got[0] == got[1] {
+		t.Error("distinct kernels share a table")
+	}
+	direct, err := NewEtaTable(UniformDisk{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.5, 1, 1.9} {
+		if got[0].Eta(x) != direct.Eta(x) {
+			t.Errorf("cached eta(%g)=%v != direct %v", x, got[0].Eta(x), direct.Eta(x))
+		}
+	}
+}
+
+// funcKernel is deliberately non-comparable (func field): it cannot be
+// a map key and must bypass the cache while still working.
+type funcKernel struct {
+	density func(d float64) float64
+}
+
+func (k funcKernel) Density(d float64) float64 { return k.density(d) }
+func (k funcKernel) Support() float64          { return 1 }
+func (k funcKernel) Name() string              { return "func" }
+
+func TestCacheBypassForNonComparableKernel(t *testing.T) {
+	k := funcKernel{density: func(d float64) float64 {
+		if d <= 1 {
+			return 1
+		}
+		return 0
+	}}
+	before := ReadCacheStats()
+	s1, err := CachedSampler(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := CachedSampler(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("non-comparable kernels cannot share cache entries")
+	}
+	if _, err := CachedEtaTable(k); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadCacheStats()
+	if after.Bypasses < before.Bypasses+3 {
+		t.Errorf("bypass counter advanced by %d, want >= 3", after.Bypasses-before.Bypasses)
+	}
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Error("bypassed constructions must not count as hits or misses")
+	}
+}
+
+func TestCacheStatsCount(t *testing.T) {
+	k := TruncGauss{Sigma: 0.31, D: 1.7} // parameters unique to this test
+	before := ReadCacheStats()
+	if _, err := CachedSampler(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CachedSampler(k); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadCacheStats()
+	if after.Misses-before.Misses != 1 {
+		t.Errorf("miss delta %d, want 1", after.Misses-before.Misses)
+	}
+	if after.Hits-before.Hits != 1 {
+		t.Errorf("hit delta %d, want 1", after.Hits-before.Hits)
+	}
+}

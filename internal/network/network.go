@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"hybridcap/internal/faults"
 	"hybridcap/internal/geom"
@@ -100,9 +99,6 @@ type Network struct {
 
 	f       float64
 	stepRNG *rand.Rand
-	etaOnce sync.Once
-	eta     *mobility.EtaTable
-	etaErr  error
 }
 
 // New builds a network instance. The same Config always produces the
@@ -122,7 +118,7 @@ func New(cfg Config) (*Network, error) {
 	}
 	root := rng.New(cfg.Seed)
 	p := cfg.Params
-	sampler, err := mobility.NewSampler(cfg.Kernel)
+	sampler, err := mobility.CachedSampler(cfg.Kernel)
 	if err != nil {
 		return nil, fmt.Errorf("network: %w", err)
 	}
@@ -313,11 +309,13 @@ func (nw *Network) MSPositions(dst []geom.Point) []geom.Point {
 }
 
 // Eta returns the kernel's contact-density table, built lazily (it is
-// moderately expensive and only some analyses need it). The build error
-// of a malformed kernel is cached alongside the table.
+// moderately expensive and only some analyses need it). The table is
+// shared process-wide across every instance with an identical kernel —
+// it depends only on the kernel parameters, never on the seed or the
+// fault plan — and is immutable, so concurrent callers are safe. The
+// build error of a malformed kernel is cached alongside the table.
 func (nw *Network) Eta() (*mobility.EtaTable, error) {
-	nw.etaOnce.Do(func() { nw.eta, nw.etaErr = mobility.NewEtaTable(nw.Cfg.Kernel) })
-	return nw.eta, nw.etaErr
+	return mobility.CachedEtaTable(nw.Cfg.Kernel)
 }
 
 // RemoveBS fails a random fraction of the base stations in place,

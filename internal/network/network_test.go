@@ -3,9 +3,12 @@ package network
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
+	"hybridcap/internal/faults"
 	"hybridcap/internal/geom"
+	"hybridcap/internal/mobility"
 	"hybridcap/internal/scaling"
 )
 
@@ -261,6 +264,86 @@ func TestEtaLazy(t *testing.T) {
 	}
 	if e1.Eta(0) <= 0 {
 		t.Error("eta(0) should be positive")
+	}
+}
+
+// The eta table depends only on the kernel: instances with identical
+// kernels share one table (however many goroutines ask concurrently),
+// instances with distinct kernels get distinct tables, and applying a
+// fault plan never mutates or re-aliases the shared entry.
+func TestEtaSharedByKernelNotByInstance(t *testing.T) {
+	p := testParams()
+	nw1, err := New(Config{Params: p, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := New(Config{Params: p, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwCone, err := New(Config{Params: p, Seed: 13, Kernel: mobility.Cone{D: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 8
+	nets := []*Network{nw1, nw2, nwCone}
+	tables := make([]*mobility.EtaTable, callers*len(nets))
+	var wg sync.WaitGroup
+	wg.Add(len(tables))
+	for i := range tables {
+		i := i
+		go func() {
+			defer wg.Done()
+			tab, err := nets[i%len(nets)].Eta()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tables[i] = tab
+		}()
+	}
+	wg.Wait()
+	for i := len(nets); i < len(tables); i++ {
+		if tables[i] != tables[i%len(nets)] {
+			t.Fatalf("caller %d saw a different table than caller %d", i, i%len(nets))
+		}
+	}
+	if tables[0] != tables[1] {
+		t.Error("same kernel, different seeds: tables should be shared")
+	}
+	if tables[0] == tables[2] {
+		t.Error("distinct kernels must not share a table")
+	}
+
+	// Faults must not touch the shared table: snapshot values, apply an
+	// outage to one instance, and verify both the pointer and the
+	// values of every instance's table are unchanged.
+	probes := []float64{0, 0.3, 1, 1.7}
+	snapshot := make([]float64, len(probes))
+	for i, x := range probes {
+		snapshot[i] = tables[0].Eta(x)
+	}
+	plan, err := faults.New(faults.Config{Seed: 3, BSOutageFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw1.ApplyFaults(plan)
+	e1, err := nw1.Eta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := nw2.Eta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != tables[0] || e2 != tables[0] {
+		t.Error("fault application re-aliased the shared eta table")
+	}
+	for i, x := range probes {
+		if e1.Eta(x) != snapshot[i] {
+			t.Errorf("eta(%g) changed after faults: %v != %v", x, e1.Eta(x), snapshot[i])
+		}
 	}
 }
 

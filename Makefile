@@ -1,0 +1,25 @@
+# Convenience entry points mirroring the CI gates. Each target is a
+# plain go/gofmt one-liner, so everything here also works without make.
+
+.PHONY: lint fmt test bench verify
+
+# The compile-time invariant gate: formatting plus the hybridlint
+# analyzer suite (same as CI's lint job, minus govulncheck which needs
+# network access to the vuln DB).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "unformatted files:"; echo "$$out"; exit 1; fi
+	go run ./cmd/hybridlint ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	go build ./...
+	go test ./...
+
+bench:
+	go test -bench=. -benchtime=1x -run '^$$' .
+
+# Everything CI checks, in order.
+verify: lint test
+	go test -run TestSweepDeterminism -race ./internal/experiments/

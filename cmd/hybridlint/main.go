@@ -1,0 +1,97 @@
+// Command hybridlint runs the project-invariant analyzer suite
+// (internal/analysis) over Go packages and exits nonzero if any
+// diagnostic survives //lint:ignore suppression.
+//
+// Usage:
+//
+//	go run ./cmd/hybridlint ./...             # whole repo (the CI gate)
+//	go run ./cmd/hybridlint ./internal/sim    # one package
+//	go run ./cmd/hybridlint -analyzers errdrop,nopanic ./...
+//	go run ./cmd/hybridlint -list             # describe the suite
+//
+// Each analyzer only runs on the packages it governs (see
+// analysis.InScope); test files are exempt by design. The driver is
+// stdlib-only: packages are type-checked against `go list -export`
+// compiler export data, so no external analysis framework is required.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridcap/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hybridlint [-list] [-analyzers a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlint:", err)
+		os.Exit(2)
+	}
+
+	var count int
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			if !analysis.InScope(a.Name, pkg.Path) {
+				continue
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hybridlint:", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "hybridlint: %d issue(s)\n", count)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	var suite []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a := analysis.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}

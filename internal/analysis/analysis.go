@@ -1,0 +1,131 @@
+// Package analysis is a stdlib-only static-analysis framework plus the
+// hybridlint analyzer suite that proves project invariants — determinism,
+// error discipline, map-order safety, float-comparison hygiene — at
+// compile time rather than hoping a particular seed exposes a violation
+// at runtime.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, testdata packages with "// want" comments)
+// but is implemented on go/ast + go/types only, so the module stays
+// dependency-free. Packages are loaded with export data produced by
+// `go list -export` (see Load), which keeps type-checking exact without
+// re-checking the standard library from source.
+//
+// Diagnostics can be suppressed with a staticcheck-style comment on the
+// same line or the line directly above the finding:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The analyzer name may be a comma-separated list or "*"; the reason is
+// mandatory — a bare //lint:ignore suppresses nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. Run inspects a single
+// type-checked package via the Pass and reports findings with
+// Pass.Reportf; it returns an error only for internal failures, never
+// for findings.
+type Analyzer struct {
+	Name string // short lowercase identifier used in diagnostics and //lint:ignore
+	Doc  string // one-paragraph description of the enforced invariant
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, already resolved to a concrete position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Analyzers is the hybridlint suite in stable report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer,
+		MapOrderAnalyzer,
+		NoPanicAnalyzer,
+		FloatEqAnalyzer,
+		ErrDropAnalyzer,
+	}
+}
+
+// ByName returns the suite analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer applies a to pkg and returns the findings that survive
+// //lint:ignore suppression, sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	diags := filterSuppressed(pkg, pass.diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the expectation comment format used in testdata:
+//
+//	someViolation() // want "message substring"
+//
+// Each want line must receive at least one diagnostic whose message
+// contains the quoted substring; each diagnostic must land on a want
+// line. Suppressed and clean testdata lines carry no want comment, so
+// any diagnostic there fails the test.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// runTestdata applies a to the loaded testdata package and checks its
+// diagnostics against the package's want comments.
+func runTestdata(t *testing.T, a *Analyzer, pkg *Package) {
+	t.Helper()
+	diags, err := RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("RunAnalyzer(%s): %v", a.Name, err)
+	}
+
+	wants := collectWants(pkg)
+	matched := make(map[wantKey]bool)
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		substr, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !strings.Contains(d.Message, substr) {
+			t.Errorf("%s:%d: diagnostic %q does not contain want %q",
+				d.Pos.Filename, d.Pos.Line, d.Message, substr)
+		}
+		matched[key] = true
+	}
+	for key, substr := range wants {
+		if !matched[key] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, substr)
+		}
+	}
+}
+
+func collectWants(pkg *Package) map[wantKey]string {
+	wants := make(map[wantKey]string)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[wantKey{pos.Filename, pos.Line}] = m[1]
+			}
+		}
+	}
+	return wants
+}
+
+// loadTestdata loads every analyzer's testdata package in one `go list`
+// invocation and indexes them by the final path segment.
+func loadTestdata(t *testing.T) map[string]*Package {
+	t.Helper()
+	var patterns []string
+	for _, a := range Analyzers() {
+		patterns = append(patterns, "./testdata/src/"+a.Name)
+	}
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("Load testdata: %v", err)
+	}
+	byName := make(map[string]*Package, len(pkgs))
+	for _, pkg := range pkgs {
+		segs := strings.Split(pkg.Path, "/")
+		byName[segs[len(segs)-1]] = pkg
+	}
+	return byName
+}
+
+// TestAnalyzersOnTestdata is the table-driven analysistest-style suite:
+// for each analyzer, the positive file must fire on every want line,
+// and the suppressed/clean files must stay silent.
+func TestAnalyzersOnTestdata(t *testing.T) {
+	pkgs := loadTestdata(t)
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			pkg, ok := pkgs[a.Name]
+			if !ok {
+				t.Fatalf("no testdata package for %s", a.Name)
+			}
+			runTestdata(t, a, pkg)
+		})
+	}
+}
+
+// TestTestdataHasExpectations guards against silently-empty testdata: a
+// passing run must mean every analyzer demonstrably fired.
+func TestTestdataHasExpectations(t *testing.T) {
+	pkgs := loadTestdata(t)
+	for _, a := range Analyzers() {
+		pkg, ok := pkgs[a.Name]
+		if !ok {
+			t.Fatalf("no testdata package for %s", a.Name)
+		}
+		if n := len(collectWants(pkg)); n < 3 {
+			t.Errorf("%s: only %d want expectations; positive coverage looks thin", a.Name, n)
+		}
+		if !hasSuppression(pkg) {
+			t.Errorf("%s: testdata has no //lint:ignore case", a.Name)
+		}
+	}
+}
+
+func hasSuppression(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if _, ok := parseIgnore(c.Text); ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestRepoIsLintClean runs the full suite over the whole repository:
+// the same gate CI enforces, kept inside `go test ./...` so a violation
+// fails the ordinary test run too.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint skipped in -short mode")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			if !InScope(a.Name, pkg.Path) {
+				continue
+			}
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("RunAnalyzer(%s, %s): %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}
+
+// TestDiagnosticOrder checks that findings come back sorted by position
+// so driver output is deterministic.
+func TestDiagnosticOrder(t *testing.T) {
+	pkgs := loadTestdata(t)
+	pkg := pkgs[NondeterminismAnalyzer.Name]
+	diags, err := RunAnalyzer(NondeterminismAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	}) {
+		t.Errorf("diagnostics not sorted: %v", diags)
+	}
+}
+
+// TestDiagnosticString pins the file:line:col message format the driver
+// prints and CI greps.
+func TestDiagnosticString(t *testing.T) {
+	pkgs := loadTestdata(t)
+	pkg := pkgs[NoPanicAnalyzer.Name]
+	diags, err := RunAnalyzer(NoPanicAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "[nopanic]") || !strings.Contains(s, ".go:") {
+		t.Errorf("unexpected diagnostic format: %q", s)
+	}
+}

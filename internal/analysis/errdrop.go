@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags statements that silently discard an error
+// result: a call used as a bare statement (also under go/defer) whose
+// signature returns an error. Deliberate discards must be explicit —
+// assign to _ or add a //lint:ignore errdrop comment — so that every
+// ignored error in the codebase is visible and auditable.
+//
+// Infallible-by-documentation writers (strings.Builder, bytes.Buffer)
+// and terminal prints to os.Stdout/os.Stderr (fmt.Print*, and fmt.Fprint*
+// whose destination is one of the two) are exempt.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag call statements that discard an error result; discard explicitly with _ = or justify with //lint:ignore errdrop",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil || !returnsError(pass, call) || errDropExempt(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result discarded: handle it, assign to _, or justify with //lint:ignore errdrop")
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call (not a type conversion) has at
+// least one result of type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errDropExempt allows calls whose error is infallible or universally
+// ignored by convention.
+func errDropExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Methods on infallible writers.
+	if s, ok := pass.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() + "." + obj.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Package-level fmt prints to the process's own terminal streams.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 &&
+			(isStdStream(pass, call.Args[0]) || isInfallibleWriter(pass, call.Args[0]))
+	}
+	return false
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "os" &&
+		(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+// isInfallibleWriter reports whether e's static type is a writer whose
+// Write methods are documented never to fail.
+func isInfallibleWriter(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

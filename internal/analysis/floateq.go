@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands in
+// the order-notation packages (capacity, scaling, measure), where
+// quantities are products of long float computations and exact equality
+// silently depends on evaluation order and FMA contraction. Comparisons
+// against an exact zero constant (sentinel/division guards) and the
+// x != x NaN idiom are allowed.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag floating-point == / != comparisons; use a tolerance such as math.Abs(a-b) <= eps",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+				return true
+			}
+			if sameExpr(bin.X, bin.Y) { // x != x is the NaN check
+				return true
+			}
+			pass.Reportf(bin.OpPos, "floating-point %s comparison: use a tolerance (e.g. math.Abs(a-b) <= eps) for order-notation quantities", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// sameExpr reports whether two expressions are textually identical
+// identifier/selector chains (enough to recognize x != x and a.b != a.b).
+func sameExpr(a, b ast.Expr) bool {
+	sa, oka := exprPath(a)
+	sb, okb := exprPath(b)
+	return oka && okb && sa == sb
+}
+
+func exprPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprPath(e.X)
+		if !ok {
+			return "", false
+		}
+		var sb strings.Builder
+		sb.WriteString(base)
+		sb.WriteByte('.')
+		sb.WriteString(e.Sel.Name)
+		return sb.String(), true
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	}
+	return "", false
+}

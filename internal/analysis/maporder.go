@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer hunts the classic silent killer of byte-identical
+// sweeps: a `for range` over a map whose body leaks the random
+// iteration order into results. It flags, inside a map range body:
+//
+//   - append into a slice declared outside the loop, unless that slice
+//     is passed to a sort/slices call later in the same function (the
+//     collect-then-sort idiom);
+//   - output writes (fmt.Print*/Fprint*, io.WriteString, Write* methods
+//     on writers declared outside the loop);
+//   - floating-point compound accumulation (+=, -=, *=, /=) into a
+//     variable declared outside the loop, whose rounding is
+//     order-dependent.
+//
+// Keyed writes such as m2[k] = v are order-independent and not flagged.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map-range bodies that leak iteration order into results (unsorted appends, output writes, float accumulation)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges finds map ranges belonging directly to this function
+// body (nested function literals are handled by their own walk).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		if t := pass.TypeOf(rng.X); t == nil || !isMapType(t) {
+			return
+		}
+		checkRangeBody(pass, body, rng)
+	})
+}
+
+// walkSkippingFuncLits visits every node under root except the bodies
+// of nested *ast.FuncLit, which belong to a different function scope.
+func walkSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkRangeAssign(pass, fnBody, rng, st)
+		case *ast.CallExpr:
+			checkRangeOutput(pass, rng, st)
+		}
+		return true
+	})
+}
+
+func checkRangeAssign(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) || !isAppendCall(pass, rhs) {
+				continue
+			}
+			obj := rootObj(pass, st.Lhs[i])
+			if obj == nil || !declaredOutside(obj, rng) {
+				continue
+			}
+			if sortedAfter(pass, fnBody, obj, rng.End()) {
+				continue
+			}
+			pass.Reportf(rhs.Pos(),
+				"append to %q while ranging over a map leaks random iteration order: sort %q afterwards or iterate sorted keys", obj.Name(), obj.Name())
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(st.Lhs) != 1 {
+			return
+		}
+		obj := rootObj(pass, st.Lhs[0])
+		if obj == nil || !declaredOutside(obj, rng) {
+			return
+		}
+		if _, isIndexed := ast.Unparen(st.Lhs[0]).(*ast.IndexExpr); isIndexed {
+			return // keyed accumulation is per-key, order-independent
+		}
+		if !isFloat(pass.TypeOf(st.Lhs[0])) {
+			return
+		}
+		pass.Reportf(st.Pos(),
+			"floating-point accumulation into %q while ranging over a map: rounding depends on iteration order; iterate sorted keys", obj.Name())
+	}
+}
+
+func checkRangeOutput(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			path, name := pn.Imported().Path(), sel.Sel.Name
+			if path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				pass.Reportf(call.Pos(), "writing output while ranging over a map emits lines in random order: collect and sort first")
+			}
+			if path == "io" && name == "WriteString" {
+				pass.Reportf(call.Pos(), "writing output while ranging over a map emits bytes in random order: collect and sort first")
+			}
+			return
+		}
+	}
+	// Write* methods on a writer declared outside the loop.
+	if !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return
+	}
+	if s, ok := pass.Info.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	obj := rootObj(pass, sel.X)
+	if obj == nil || !declaredOutside(obj, rng) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s while ranging over a map writes in random order: collect and sort first", obj.Name(), sel.Sel.Name)
+}
+
+func isAppendCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObj resolves the base identifier of an lvalue chain (x, x.f,
+// (*x).f, ...). Index expressions return nil: keyed writes are
+// order-independent.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices call
+// after pos within the function body — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(pass, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondeterminismAnalyzer forbids ambient sources of nondeterminism in
+// the simulation packages: package-level math/rand functions (which
+// draw from the shared global source), wall-clock reads, and
+// environment lookups. Randomness must flow through an injected
+// *rand.Rand, seeded via internal/rng, so that every sweep is
+// reproducible bit-for-bit regardless of host, worker count, or what
+// other code ran first.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid ambient randomness (global math/rand), wall-clock reads (time.Now), and environment lookups (os.Getenv) in deterministic simulation packages",
+	Run:  runNondeterminism,
+}
+
+// ambientBan maps source package path -> banned identifier -> advice.
+// For math/rand only the explicit-source constructors are allowed;
+// every other package-level function uses the shared global source, so
+// they are banned by default via globalRandAllowed below.
+var ambientBan = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read: inject timestamps from the caller",
+		"Since": "wall-clock read: inject timestamps from the caller",
+		"Until": "wall-clock read: inject timestamps from the caller",
+	},
+	"os": {
+		"Getenv":    "environment read makes results host-dependent: plumb configuration explicitly",
+		"LookupEnv": "environment read makes results host-dependent: plumb configuration explicitly",
+		"Environ":   "environment read makes results host-dependent: plumb configuration explicitly",
+	},
+}
+
+// globalRandAllowed lists the math/rand (and /v2) identifiers that do
+// NOT touch the global source: explicit-source constructors and types.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"Rand":       true, // the type, in qualified positions like *rand.Rand
+	"Source":     true,
+	"Source64":   true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+func runNondeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path, name := pn.Imported().Path(), sel.Sel.Name
+			switch path {
+			case "math/rand", "math/rand/v2":
+				if !globalRandAllowed[name] {
+					pass.Reportf(sel.Pos(),
+						"ambient randomness: %s.%s draws from the shared global source; inject a *rand.Rand derived from internal/rng instead", path, name)
+				}
+			default:
+				if advice, banned := ambientBan[path][name]; banned {
+					pass.Reportf(sel.Pos(), "%s.%s: %s", path, name, advice)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanicAnalyzer locks in the panics-to-errors migration: library
+// packages must report failures as error values, never by unwinding the
+// caller or killing the process. panic, log.Fatal*, log.Panic*, and
+// os.Exit are banned outside cmd/, examples/, and tests.
+var NoPanicAnalyzer = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic, log.Fatal*, log.Panic*, and os.Exit in library packages; failures must be returned as errors",
+	Run:  runNoPanic,
+}
+
+// fatalCalls maps package path -> function name -> banned.
+var fatalCalls = map[string]map[string]bool{
+	"log": {
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+	"os": {"Exit": true},
+}
+
+func runNoPanic(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in library code: return an error instead (panics-to-errors discipline)")
+				}
+			case *ast.SelectorExpr:
+				id, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				path, name := pn.Imported().Path(), fun.Sel.Name
+				if fatalCalls[path][name] {
+					pass.Reportf(call.Pos(), "%s.%s terminates the process from library code: return an error instead", path, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

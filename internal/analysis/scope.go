@@ -1,0 +1,68 @@
+package analysis
+
+import "strings"
+
+// deterministicPkgs are the internal packages whose results must be
+// byte-identical across runs, worker counts, and hosts (the Table I
+// reproduction pipeline). Ambient randomness, wall-clock reads, and
+// environment lookups are banned here outright.
+var deterministicPkgs = map[string]bool{
+	"mobility":    true,
+	"network":     true,
+	"routing":     true,
+	"sim":         true,
+	"experiments": true,
+	"traffic":     true,
+	"linkcap":     true,
+	"scheduler":   true,
+	"flow":        true,
+	"capacity":    true,
+}
+
+// floatEqPkgs are the packages computing order-notation quantities
+// (capacity exponents, scaling fits, measured throughput) where exact
+// floating-point equality is essentially always a bug.
+var floatEqPkgs = map[string]bool{
+	"capacity": true,
+	"scaling":  true,
+	"measure":  true,
+}
+
+// InScope reports whether the named analyzer applies to the package
+// with the given import path. Test files are excluded at load time, so
+// this only partitions non-test code:
+//
+//   - nondeterminism: the deterministic simulation packages only
+//   - floateq:        capacity, scaling, measure
+//   - nopanic:        everywhere except cmd/ and examples/ binaries
+//   - maporder, errdrop: everywhere
+func InScope(analyzer, pkgPath string) bool {
+	segs := strings.Split(pkgPath, "/")
+	switch analyzer {
+	case "nondeterminism":
+		return hasInternalPkg(segs, deterministicPkgs)
+	case "floateq":
+		return hasInternalPkg(segs, floatEqPkgs)
+	case "nopanic":
+		for _, s := range segs {
+			if s == "cmd" || s == "examples" {
+				return false
+			}
+		}
+		return true
+	case "maporder", "errdrop":
+		return true
+	}
+	return false
+}
+
+// hasInternalPkg reports whether the path has an "internal" segment
+// directly followed by one of the named packages.
+func hasInternalPkg(segs []string, names map[string]bool) bool {
+	for i, s := range segs {
+		if s == "internal" && i+1 < len(segs) && names[segs[i+1]] {
+			return true
+		}
+	}
+	return false
+}

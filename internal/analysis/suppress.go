@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses a finding:
+//
+//	//lint:ignore <analyzer[,analyzer...]|*> <reason>
+//
+// The directive covers diagnostics on its own line (trailing comment)
+// and on the line directly below it (comment above the statement). A
+// directive without a reason is inert, so every suppression carries an
+// auditable justification.
+const ignoreDirective = "//lint:ignore"
+
+// suppression records which analyzers are silenced on a (file, line).
+type suppression struct {
+	analyzers map[string]bool // nil means none; "*" key silences all
+}
+
+func (s suppression) covers(analyzer string) bool {
+	return s.analyzers != nil && (s.analyzers["*"] || s.analyzers[analyzer])
+}
+
+// suppressionIndex maps filename -> line -> suppression.
+type suppressionIndex map[string]map[int]suppression
+
+// buildSuppressionIndex scans every comment in the package for ignore
+// directives.
+func buildSuppressionIndex(pkg *Package) suppressionIndex {
+	idx := make(suppressionIndex)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]suppression)
+					idx[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					s := lines[line]
+					if s.analyzers == nil {
+						s.analyzers = make(map[string]bool)
+					}
+					for _, n := range names {
+						s.analyzers[n] = true
+					}
+					lines[line] = s
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseIgnore extracts the analyzer names from an ignore directive.
+// It returns ok=false for comments that are not directives or that are
+// malformed (no analyzer list, or no reason after it).
+func parseIgnore(text string) (names []string, ok bool) {
+	rest, found := strings.CutPrefix(text, ignoreDirective)
+	if !found {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // need an analyzer list and a reason
+		return nil, false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// filterSuppressed drops diagnostics covered by an ignore directive.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	idx := buildSuppressionIndex(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if idx[d.Pos.Filename][d.Pos.Line].covers(d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,46 @@
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func failing() error { return errors.New("boom") }
+
+// handled propagates the error: the required discipline.
+func handled() error {
+	if err := failing(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicitDiscard is visible and auditable, so it is allowed.
+func explicitDiscard() {
+	_ = failing()
+}
+
+// infallibleWriters never return a non-nil error by documentation.
+func infallibleWriters() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	var buf bytes.Buffer
+	buf.WriteByte('y')
+	return b.String() + buf.String()
+}
+
+// terminalPrints to the process's own stdout/stderr are conventionally
+// unchecked.
+func terminalPrints() {
+	fmt.Println("progress")
+	fmt.Fprintln(os.Stderr, "warning")
+}
+
+// pureCalls return no error at all.
+func pureCalls() {
+	strings.ToUpper("x")
+}

@@ -1,0 +1,38 @@
+// Package errdrop seeds violations for the errdrop analyzer.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func dropped() {
+	mayFail() // want "error result discarded"
+}
+
+func droppedPair() {
+	pair() // want "error result discarded"
+}
+
+func deferred(c io.Closer) {
+	defer c.Close() // want "error result discarded"
+}
+
+func goroutine() {
+	go mayFail() // want "error result discarded"
+}
+
+func fprintfToWriter(w io.Writer) {
+	fmt.Fprintf(w, "x") // want "error result discarded"
+}
+
+var fn = mayFail
+
+func viaFuncValue() {
+	fn() // want "error result discarded"
+}

@@ -1,0 +1,8 @@
+package errdrop
+
+import "io"
+
+func bestEffortCleanup(c io.Closer) {
+	//lint:ignore errdrop best-effort cleanup on an error path
+	c.Close()
+}

@@ -1,0 +1,39 @@
+package floateq
+
+import "math"
+
+// tolerance comparison is the required form.
+func approxEq(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// zeroGuard compares against exact zero: an allowed sentinel/division guard.
+func zeroGuard(a float64) bool {
+	return a == 0
+}
+
+func zeroGuardFloatLit(a float64) bool {
+	return a != 0.0
+}
+
+// nanCheck is the x != x idiom.
+func nanCheck(a float64) bool {
+	return a != a
+}
+
+type vec struct{ x, y float64 }
+
+// nanField applies the idiom through a selector chain.
+func nanField(v vec) bool {
+	return v.x != v.x
+}
+
+// ints are compared exactly, of course.
+func intEq(a, b int) bool {
+	return a == b
+}
+
+// ordering comparisons on floats are fine; only == and != are flagged.
+func less(a, b float64) bool {
+	return a < b
+}

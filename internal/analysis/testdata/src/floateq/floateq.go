@@ -1,0 +1,34 @@
+// Package floateq seeds violations for the floateq analyzer.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func neq(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func eq32(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func converted(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+func nonzeroConst(a float64) bool {
+	return a == 0.25 // want "floating-point == comparison"
+}
+
+type point struct{ x, y float64 }
+
+func fieldEq(u, v point) bool {
+	return u.x == v.x // want "floating-point == comparison"
+}
+
+type exponent float64
+
+func namedFloat(a, b exponent) bool {
+	return a == b // want "floating-point == comparison"
+}

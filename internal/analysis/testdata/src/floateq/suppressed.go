@@ -1,0 +1,6 @@
+package floateq
+
+func exactSentinel(a float64) bool {
+	//lint:ignore floateq comparing against the exact stored sentinel value
+	return a == 0.25
+}

@@ -1,0 +1,73 @@
+package maporder
+
+import (
+	"slices"
+	"sort"
+)
+
+// collectThenSort is the canonical fix: gather keys, sort, iterate.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSlicesSort accepts the slices package spelling too.
+func collectThenSlicesSort(m map[int]float64) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// keyedWrites are order-independent: each iteration touches its own key.
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// intAccum commutes exactly; only float accumulation is order-sensitive.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perKey accumulates into a variable declared inside the loop body.
+func perKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		out[k] = total
+	}
+	return out
+}
+
+// keyedFloatAccum is a keyed compound assignment: per-key, so fine.
+func keyedFloatAccum(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// sliceAppend ranges over a slice, not a map: ordered by construction.
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

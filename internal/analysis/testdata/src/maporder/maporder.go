@@ -1,0 +1,58 @@
+// Package maporder seeds violations for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "leaks random iteration order"
+	}
+	return keys
+}
+
+func structFieldAppend(m map[string]int) []string {
+	var out struct{ names []string }
+	for k := range m {
+		out.names = append(out.names, k) // want "leaks random iteration order"
+	}
+	return out.names
+}
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "random order"
+	}
+}
+
+func fprinting(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want "random order"
+	}
+}
+
+func writeString(w io.Writer, m map[string]int) {
+	for k := range m {
+		io.WriteString(w, k) // want "random order"
+	}
+}
+
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "writes in random order"
+	}
+	return b.String()
+}
+
+func floatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "rounding depends on iteration order"
+	}
+	return sum
+}

@@ -1,0 +1,10 @@
+package maporder
+
+func suppressedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder the caller canonicalizes order before use
+		keys = append(keys, k)
+	}
+	return keys
+}

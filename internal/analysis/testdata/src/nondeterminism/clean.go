@@ -1,0 +1,21 @@
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// injected draws from an explicit generator: the approved pattern.
+func injected(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// construct builds a seeded generator: constructors are allowed.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// durations manipulates time values without reading the wall clock.
+func durations(d time.Duration) time.Duration {
+	return d * 2
+}

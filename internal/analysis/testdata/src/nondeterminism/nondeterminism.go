@@ -1,0 +1,36 @@
+// Package nondet seeds violations for the nondeterminism analyzer.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func ambientCall() float64 {
+	return rand.Float64() // want "ambient randomness"
+}
+
+func ambientShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "ambient randomness"
+}
+
+func ambientValue() func() int64 {
+	return rand.Int63 // want "ambient randomness"
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock read"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read"
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "environment read"
+}
+
+func envLookup() (string, bool) {
+	return os.LookupEnv("SEED") // want "environment read"
+}

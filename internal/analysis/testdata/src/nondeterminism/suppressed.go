@@ -1,0 +1,30 @@
+package nondet
+
+import (
+	"os"
+	"time"
+)
+
+func suppressedAbove() time.Time {
+	//lint:ignore nondeterminism timestamps only label output filenames
+	return time.Now()
+}
+
+func suppressedInline() time.Time {
+	return time.Now() //lint:ignore nondeterminism timestamps only label output filenames
+}
+
+func suppressedStar() string {
+	//lint:ignore * scratch path chosen by the operator
+	return os.Getenv("TMPDIR")
+}
+
+func malformedNoReason() time.Time {
+	//lint:ignore nondeterminism
+	return time.Now() // want "wall-clock read"
+}
+
+func wrongAnalyzerName() string {
+	//lint:ignore floateq wrong analyzer listed
+	return os.Getenv("PATH") // want "environment read"
+}

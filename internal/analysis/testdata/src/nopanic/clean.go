@@ -1,0 +1,22 @@
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+	"log"
+)
+
+// report returns failures as errors: the required discipline.
+func report(i int) error {
+	if i < 0 {
+		return fmt.Errorf("nopanic: negative index %d", i)
+	}
+	return nil
+}
+
+var errBad = errors.New("bad state")
+
+// logging that does not terminate the process is fine.
+func warn() {
+	log.Println("recoverable condition")
+}

@@ -1,0 +1,34 @@
+// Package nopanic seeds violations for the nopanic analyzer.
+package nopanic
+
+import (
+	"log"
+	"os"
+)
+
+func explode() {
+	panic("boom") // want "panic in library code"
+}
+
+func indexGuard(xs []int, i int) int {
+	if i >= len(xs) {
+		panic("out of range") // want "panic in library code"
+	}
+	return xs[i]
+}
+
+func fatal() {
+	log.Fatal("unrecoverable") // want "terminates the process"
+}
+
+func fatalf(err error) {
+	log.Fatalf("setup: %v", err) // want "terminates the process"
+}
+
+func logPanic() {
+	log.Panicln("bad state") // want "terminates the process"
+}
+
+func exit() {
+	os.Exit(1) // want "terminates the process"
+}

@@ -1,0 +1,11 @@
+package nopanic
+
+func unreachable(mode int) int {
+	switch mode {
+	case 0, 1:
+		return mode
+	default:
+		//lint:ignore nopanic mode is validated at construction; unreachable
+		panic("unreachable mode")
+	}
+}

@@ -95,16 +95,16 @@ func Write(path string, f *File) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+		_ = tmp.Close() // best-effort cleanup: the write error is the one to report
+		_ = os.Remove(tmpName)
 		return fmt.Errorf("benchio: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName) // best-effort cleanup: the close error is the one to report
 		return fmt.Errorf("benchio: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName) // best-effort cleanup: the rename error is the one to report
 		return fmt.Errorf("benchio: %w", err)
 	}
 	return nil

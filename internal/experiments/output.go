@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"hybridcap/internal/measure"
@@ -17,7 +18,15 @@ func (r *Result) Text() string {
 		b.WriteString(row)
 		b.WriteByte('\n')
 	}
-	for name, fit := range r.Fits {
+	// Map iteration order is randomized per process; sort the fit names
+	// so the report is byte-identical across runs.
+	names := make([]string, 0, len(r.Fits))
+	for name := range r.Fits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fit := r.Fits[name]
 		fmt.Fprintf(&b, "fit %-14s exponent %+0.3f +- %.3f (R2 %.3f, %d pts)\n",
 			name, fit.Exponent, fit.StdErr, fit.R2, fit.N)
 	}
@@ -50,8 +59,14 @@ func (r *Result) WriteFiles(dir string) error {
 		if err != nil {
 			return fmt.Errorf("experiments: %w", err)
 		}
-		defer f.Close()
-		return measure.WriteCSV(f, r.XName, r.Series...)
+		if err := measure.WriteCSV(f, r.XName, r.Series...); err != nil {
+			_ = f.Close() // best-effort: the write error is the one to report
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		return nil
 	}
 	for i, s := range r.Series {
 		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%d.csv", r.ID, i)))
@@ -59,7 +74,7 @@ func (r *Result) WriteFiles(dir string) error {
 			return fmt.Errorf("experiments: %w", err)
 		}
 		if err := measure.WriteCSV(f, r.XName, s); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort: the write error is the one to report
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -36,9 +36,9 @@ func Resilience(o Options) (*Result, error) {
 	scheme := routing.SchemeB{Fallback: routing.SchemeA{}}
 
 	type seedOutcome struct {
-		lambda             float64
-		degraded, dropped  int
-		err                error
+		lambda            float64
+		degraded, dropped int
+		err               error
 	}
 	evalAt := func(fc faults.Config) (lambda float64, degraded, dropped int, err error) {
 		outcomes := make([]seedOutcome, o.seeds())

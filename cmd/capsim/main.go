@@ -12,6 +12,12 @@
 // and -outage-curve sweeps the BS outage fraction from 0 to 1 printing
 // the capacity-vs-outage curve for every selected scheme.
 //
+// Scenario mode: -scenario runs a declarative scenario JSON file (see
+// EXPERIMENTS.md "Scenarios") through the grid engine instead of a
+// single instance — new regimes without recompilation:
+//
+//	capsim -scenario examples/scenarios/strong-mobility.json -quick
+//
 // Benchmarking: -bench skips the single-instance evaluation and runs
 // the benchmark trajectory instead — the Table-I sweep timed once at
 // Workers=1 and once at -workers (0 = all CPU cores), verified for
@@ -25,7 +31,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -33,6 +38,7 @@ import (
 
 	"hybridcap/internal/benchio"
 	"hybridcap/internal/capacity"
+	"hybridcap/internal/cli"
 	"hybridcap/internal/experiments"
 	"hybridcap/internal/faults"
 	"hybridcap/internal/mobility"
@@ -40,6 +46,7 @@ import (
 	"hybridcap/internal/rng"
 	"hybridcap/internal/routing"
 	"hybridcap/internal/scaling"
+	"hybridcap/internal/scenario"
 	"hybridcap/internal/traffic"
 )
 
@@ -66,32 +73,29 @@ func run() error {
 		erasure     = flag.Float64("erasure", 0, "per-slot wireless erasure probability (packet sims)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
 		outageCurve = flag.Bool("outage-curve", false, "sweep the BS outage fraction 0..1 and print the capacity curve")
-		workers     = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores); results are identical for every worker count")
+		scenarioArg = flag.String("scenario", "", "run a declarative scenario JSON file through the grid engine (uses -out/-quick/-seeds/-workers)")
 		bench       = flag.Bool("bench", false, "run the benchmark trajectory (serial vs parallel Table-I sweep) and write -bench-out")
 		benchOut    = flag.String("bench-out", benchio.DefaultPath, "benchmark trajectory JSON path (with -bench)")
 		benchSeeds  = flag.Int("bench-seeds", 4, "seeds per grid point for -bench")
 		benchQuick  = flag.Bool("bench-quick", true, "with -bench: small sweep sizes (seconds, not minutes)")
 	)
+	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
 
+	if *scenarioArg != "" {
+		return runScenarioFile(*scenarioArg, common)
+	}
 	if *bench {
-		return runBench(*workers, *benchSeeds, *benchQuick, *benchOut)
+		return runBench(common.Workers, *benchSeeds, *benchQuick, *benchOut)
 	}
 
 	p := scaling.Params{N: *n, Alpha: *alpha, K: *kExp, Phi: *phi, M: *mExp, R: *rExp}
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	var bsPlacement network.BSPlacement
-	switch *placement {
-	case "matched":
-		bsPlacement = network.Matched
-	case "uniform":
-		bsPlacement = network.Uniform
-	case "grid":
-		bsPlacement = network.Grid
-	default:
-		return fmt.Errorf("unknown placement %q", *placement)
+	bsPlacement, err := network.ParsePlacement(*placement)
+	if err != nil {
+		return err
 	}
 	faultCfg := faults.Config{
 		Seed:               *faultSeed,
@@ -267,25 +271,48 @@ func printOutageCurve(build func(faults.Config) (*network.Network, error), fault
 	return nil
 }
 
+// selectSchemes resolves -scheme against the routing registry; "best"
+// evaluates every scheme applicable to the parameter point.
 func selectSchemes(name string, p scaling.Params) ([]routing.Scheme, error) {
-	gamma := p.Gamma()
-	all := map[string]routing.Scheme{
-		"schemeA":        routing.SchemeA{},
-		"schemeB":        routing.SchemeB{},
-		"schemeBcluster": routing.SchemeB{GroupBy: routing.ByCluster},
-		"schemeC":        routing.SchemeC{Delta: -1},
-		"gridMultihop":   routing.GridMultihop{Side: math.Sqrt(gamma), Delta: -1},
-		"twoHop":         routing.TwoHopRelay{},
-	}
-	if s, ok := all[name]; ok {
-		return []routing.Scheme{s}, nil
-	}
 	if name == "best" {
-		list := []routing.Scheme{all["schemeA"], all["twoHop"]}
+		names := []string{routing.NameSchemeA, routing.NameTwoHop}
 		if p.HasInfrastructure() {
-			list = append(list, all["schemeB"], all["schemeC"])
+			names = append(names, routing.NameSchemeB, routing.NameSchemeC)
+		}
+		list := make([]routing.Scheme, 0, len(names))
+		for _, n := range names {
+			s, err := routing.ByName(n, p)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, s)
 		}
 		return list, nil
 	}
-	return nil, fmt.Errorf("unknown scheme %q", name)
+	s, err := routing.ByName(name, p)
+	if err != nil {
+		return nil, err
+	}
+	return []routing.Scheme{s}, nil
+}
+
+// runScenarioFile loads a declarative scenario file, executes it
+// through the grid engine and writes the report artifacts.
+func runScenarioFile(path string, c *cli.Common) error {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunScenario(sc, c.Options())
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Text())
+	if c.Out != "" {
+		if err := res.WriteFiles(c.Out); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s/%s.{txt,csv}\n", c.Out, res.ID)
+	}
+	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"hybridcap/internal/cli"
 	"hybridcap/internal/experiments"
 )
 
@@ -24,15 +25,10 @@ func main() {
 }
 
 func run() error {
-	var (
-		ids     = flag.String("run", "F1,F2,F3L,F3R", "comma-separated experiment ids, or 'all'")
-		out     = flag.String("out", "out", "output directory for CSV/TXT artifacts")
-		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		seeds   = flag.Int("seeds", 0, "seeds per data point (0 = default)")
-		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores); results are identical for every worker count")
-	)
+	ids := flag.String("run", "F1,F2,F3L,F3R", "comma-separated experiment ids, or 'all'")
+	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
-	opts := experiments.Options{Quick: *quick, Seeds: *seeds, Workers: *workers}
+	opts := common.Options()
 
 	var selected []string
 	if *ids == "all" {
@@ -54,10 +50,10 @@ func run() error {
 		}
 		fmt.Print(res.Text())
 		fmt.Println()
-		if err := res.WriteFiles(*out); err != nil {
+		if err := res.WriteFiles(common.Out); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s/%s.{txt,csv}\n\n", *out, id)
+		fmt.Printf("wrote %s/%s.{txt,csv}\n\n", common.Out, id)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"hybridcap/internal/cli"
 	"hybridcap/internal/experiments"
 )
 
@@ -24,21 +25,16 @@ func main() {
 }
 
 func run() error {
-	var (
-		out     = flag.String("out", "out", "output directory for CSV/TXT artifacts")
-		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		seeds   = flag.Int("seeds", 0, "seeds per data point (0 = default)")
-		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPU cores); results are identical for every worker count")
-	)
+	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
-	res, err := experiments.Table1(experiments.Options{Quick: *quick, Seeds: *seeds, Workers: *workers})
+	res, err := experiments.Table1(common.Options())
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Text())
-	if err := res.WriteFiles(*out); err != nil {
+	if err := res.WriteFiles(common.Out); err != nil {
 		return err
 	}
-	fmt.Printf("\nwrote %s/T1.{txt,csv}\n", *out)
+	fmt.Printf("\nwrote %s/T1.{txt,csv}\n", common.Out)
 	return nil
 }

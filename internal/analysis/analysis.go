@@ -90,6 +90,7 @@ func Analyzers() []*Analyzer {
 		NoPanicAnalyzer,
 		FloatEqAnalyzer,
 		ErrDropAnalyzer,
+		GoroLeakAnalyzer,
 	}
 }
 

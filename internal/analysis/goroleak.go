@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeakAnalyzer enforces the worker-pool discipline the engine
+// package is built on: every spawned goroutine must be joined before
+// its owner returns, and nothing a goroutine does may strand the join.
+// Concretely, for sync.WaitGroup-managed goroutines it requires
+//
+//   - Add before the go statement, never inside the spawned goroutine
+//     (an Add racing Wait can let Wait return early);
+//   - Done via defer, so a panicking worker still signals the group;
+//   - Wait in the same function that Adds to a function-local group,
+//     so workers cannot outlive the pool owner;
+//
+// and it flags channel sends inside spawned goroutines that are not
+// guarded by a select, because a send after the consumer has stopped
+// blocks the worker forever and leaks it.
+var GoroLeakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc:  "enforce WaitGroup Add/Done/Wait pairing and select-guarded channel sends in spawned goroutines",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroutines(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkGoroutines analyzes one function body: the goroutines it spawns
+// via `go func() {...}()` and the Add/Wait bookkeeping around them.
+func checkGoroutines(pass *Pass, body *ast.BlockStmt) {
+	var goLits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				goLits = append(goLits, lit)
+			}
+		}
+		return true
+	})
+	for _, lit := range goLits {
+		checkSpawnedBody(pass, lit)
+	}
+
+	inGoroutine := func(pos token.Pos) bool {
+		for _, lit := range goLits {
+			if lit.Pos() <= pos && pos < lit.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pair Add with Wait per function-local WaitGroup. Groups received
+	// from elsewhere (parameters, fields) may legitimately be waited on
+	// by their owner, so only variables declared in this body count.
+	adds := make(map[types.Object][]token.Pos)
+	waited := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, obj := waitGroupCall(pass, call)
+		if obj == nil || obj.Pos() < body.Pos() || obj.Pos() >= body.End() {
+			return true
+		}
+		switch name {
+		case "Wait":
+			waited[obj] = true
+		case "Add":
+			if !inGoroutine(call.Pos()) {
+				adds[obj] = append(adds[obj], call.Pos())
+			}
+		}
+		return true
+	})
+	for obj, positions := range adds {
+		if waited[obj] {
+			continue
+		}
+		for _, pos := range positions {
+			pass.Reportf(pos, "sync.WaitGroup.Add on %s without a matching Wait in the same function: spawned workers can outlive the pool owner", obj.Name())
+		}
+	}
+}
+
+// checkSpawnedBody walks the body of one go-statement function literal.
+// A nested go statement's literal is skipped here: the collection pass
+// records it separately and it is checked as its own goroutine.
+func checkSpawnedBody(pass *Pass, lit *ast.FuncLit) {
+	var stack []ast.Node
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		stack = append(stack, n)
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			switch name, _ := waitGroupCall(pass, s); name {
+			case "Add":
+				pass.Reportf(s.Pos(), "sync.WaitGroup.Add inside the spawned goroutine races with Wait: call Add before the go statement")
+			case "Done":
+				if !hasAncestor[*ast.DeferStmt](stack[:len(stack)-1]) {
+					pass.Reportf(s.Pos(), "sync.WaitGroup.Done is not deferred in the spawned goroutine: a panic before it strands Wait")
+				}
+			}
+		case *ast.SendStmt:
+			if !hasAncestor[*ast.SelectStmt](stack[:len(stack)-1]) {
+				pass.Reportf(s.Pos(), "unguarded channel send in a spawned goroutine: after the consumer stops, the send blocks forever and leaks the worker; guard it with a select (or suppress with justification)")
+			}
+		}
+		return true
+	})
+}
+
+// hasAncestor reports whether any node on the stack is of type N.
+func hasAncestor[N ast.Node](stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(N); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// waitGroupCall recognizes wg.Add / wg.Done / wg.Wait calls on a
+// sync.WaitGroup and returns the method name plus the receiver's object
+// when the receiver is a plain identifier (nil for fields and other
+// compound receivers).
+func waitGroupCall(pass *Pass, call *ast.CallExpr) (string, types.Object) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	name := sel.Sel.Name
+	if name != "Add" && name != "Done" && name != "Wait" {
+		return "", nil
+	}
+	if !isWaitGroup(pass.TypeOf(sel.X)) {
+		return "", nil
+	}
+	var obj types.Object
+	if id, ok := sel.X.(*ast.Ident); ok {
+		obj = pass.Info.ObjectOf(id)
+	}
+	return name, obj
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -17,6 +17,8 @@ var deterministicPkgs = map[string]bool{
 	"scheduler":   true,
 	"flow":        true,
 	"capacity":    true,
+	"engine":      true,
+	"scenario":    true,
 }
 
 // floatEqPkgs are the packages computing order-notation quantities
@@ -35,7 +37,7 @@ var floatEqPkgs = map[string]bool{
 //   - nondeterminism: the deterministic simulation packages only
 //   - floateq:        capacity, scaling, measure
 //   - nopanic:        everywhere except cmd/ and examples/ binaries
-//   - maporder, errdrop: everywhere
+//   - maporder, errdrop, goroleak: everywhere
 func InScope(analyzer, pkgPath string) bool {
 	segs := strings.Split(pkgPath, "/")
 	switch analyzer {
@@ -50,7 +52,7 @@ func InScope(analyzer, pkgPath string) bool {
 			}
 		}
 		return true
-	case "maporder", "errdrop":
+	case "maporder", "errdrop", "goroleak":
 		return true
 	}
 	return false

@@ -1,0 +1,37 @@
+package goroleak
+
+import "sync"
+
+// pool mirrors the engine's bounded worker pool: Add before spawning,
+// Done deferred, Wait in the same function, every send select-guarded
+// against the consumer going away.
+func pool(workers int, jobs []int, out chan<- int, done <-chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for _, j := range jobs {
+				select {
+				case out <- j:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// helper receives the group from the pool owner: Wait living in the
+// caller is fine because the WaitGroup is not function-local here.
+func helper(wg *sync.WaitGroup, out chan<- int, done <-chan struct{}) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case out <- 1:
+		case <-done:
+		}
+	}()
+}

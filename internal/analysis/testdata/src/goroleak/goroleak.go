@@ -1,0 +1,53 @@
+// Package goroleak exercises the goroutine-leak analyzer: WaitGroup
+// Add/Done/Wait pairing and unguarded channel sends inside spawned
+// goroutines.
+package goroleak
+
+import "sync"
+
+func work() {}
+
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "races with Wait"
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneNotDeferred(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			work()
+			wg.Done() // want "not deferred"
+		}()
+	}
+	wg.Wait()
+}
+
+func addWithoutWait() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "without a matching Wait"
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func unguardedSend(vals []int, out chan<- int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range vals {
+			out <- v // want "unguarded channel send"
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,39 @@
+// Package cli holds the flag bindings shared by the repository's
+// commands (capsim, tables, figures): every experiment-running command
+// exposes the same -out/-quick/-seeds/-workers knobs with the same
+// defaults and help strings, bound in one place so they cannot drift.
+package cli
+
+import (
+	"flag"
+
+	"hybridcap/internal/experiments"
+)
+
+// Common are the options every experiment-running command shares.
+type Common struct {
+	// Out is the output directory for CSV/TXT artifacts.
+	Out string
+	// Quick selects the smaller per-experiment sweep defaults.
+	Quick bool
+	// Seeds is the number of seeds per grid point (0 = default).
+	Seeds int
+	// Workers bounds the engine's worker pool (0 = all CPU cores).
+	Workers int
+}
+
+// Bind registers the shared flags on fs and returns the destination
+// struct; read it after fs.Parse.
+func Bind(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.StringVar(&c.Out, "out", "out", "output directory for CSV/TXT artifacts")
+	fs.BoolVar(&c.Quick, "quick", false, "smaller sweeps for a fast smoke run")
+	fs.IntVar(&c.Seeds, "seeds", 0, "seeds per data point (0 = default)")
+	fs.IntVar(&c.Workers, "workers", 0, "parallel sweep workers (0 = all CPU cores); results are identical for every worker count")
+	return c
+}
+
+// Options converts the parsed flags into experiment options.
+func (c *Common) Options() experiments.Options {
+	return experiments.Options{Quick: c.Quick, Seeds: c.Seeds, Workers: c.Workers}
+}

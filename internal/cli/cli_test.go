@@ -1,0 +1,32 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestBindParsesSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Bind(fs)
+	if err := fs.Parse([]string{"-out", "artifacts", "-quick", "-seeds", "5", "-workers", "3"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.Out != "artifacts" || !c.Quick || c.Seeds != 5 || c.Workers != 3 {
+		t.Errorf("parsed %+v", c)
+	}
+	o := c.Options()
+	if !o.Quick || o.Seeds != 5 || o.Workers != 3 {
+		t.Errorf("options %+v", o)
+	}
+}
+
+func TestBindDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Bind(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.Out != "out" || c.Quick || c.Seeds != 0 || c.Workers != 0 {
+		t.Errorf("defaults %+v", c)
+	}
+}

@@ -1,0 +1,213 @@
+// Package engine is the deterministic grid-execution engine behind
+// every experiment: a bounded worker pool evaluating the cells of a
+// points x seeds grid, with outcomes merged back in grid order so the
+// result is byte-identical to a serial run for every worker count.
+//
+// The engine owns the three properties every sweep in this repository
+// must share:
+//
+//   - determinism: cells are self-contained (seeds are pre-derived by
+//     the caller), workers only write their own outcome slot, and all
+//     merging and hook delivery happens in grid order;
+//   - bounded concurrency: at most Workers goroutines run at once, the
+//     pool never outlives a run, and a panicking cell is converted to
+//     an error instead of tearing the pool down;
+//   - phase-tagged failures: a failed cell says whether instance
+//     construction or evaluation broke, so degraded sweeps stay
+//     diagnosable.
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cell-failure phase tags: a failed cell's error says whether instance
+// construction or scheme evaluation broke.
+const (
+	PhaseConstruct = "construct instance"
+	PhaseEvaluate  = "evaluate"
+)
+
+// ConstructErr tags err as an instance-construction failure.
+func ConstructErr(err error) error { return fmt.Errorf("%s: %w", PhaseConstruct, err) }
+
+// EvaluateErr tags err as an evaluation failure.
+func EvaluateErr(err error) error { return fmt.Errorf("%s: %w", PhaseEvaluate, err) }
+
+// ForEachIndex runs fn(0..n-1) on a bounded pool of workers goroutines
+// and returns when every call has finished. Each index is dispatched
+// exactly once; fn writes its result into a caller-owned slot for that
+// index, so no further synchronization is needed and the caller can
+// merge results in index order regardless of scheduling. With workers
+// <= 1 (or a single index) the calls run inline on the caller's
+// goroutine, making the serial path identical to a plain loop.
+func ForEachIndex(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Outcome is the result of evaluating one cell. Cells fail
+// independently; the caller's merge decides whether a failed cell sinks
+// its point or the whole run.
+type Outcome[T any] struct {
+	Value T
+	Err   error
+}
+
+// Map evaluates fn over the indices 0..n-1 on a bounded pool of workers
+// and returns the outcomes in index order. A panicking fn is converted
+// to an error outcome for its index, so one broken cell cannot tear
+// down the run.
+func Map[T any](workers, n int, fn func(i int) (T, error)) []Outcome[T] {
+	outs := make([]Outcome[T], n)
+	ForEachIndex(workers, n, func(i int) {
+		v, err := guard(func() (T, error) { return fn(i) })
+		outs[i] = Outcome[T]{Value: v, Err: err}
+	})
+	return outs
+}
+
+// guard runs fn with panics converted to errors.
+func guard[T any](fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("evaluation panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// Grid describes a points x seeds evaluation grid.
+type Grid struct {
+	// Points and Seeds span the grid; every (point, seed) coordinate is
+	// one independent cell.
+	Points, Seeds int
+	// Workers bounds the evaluating pool; <= 1 runs serially.
+	Workers int
+	// OnCell, if set, observes every cell outcome in grid order (point
+	// varying slowest) after the whole grid has been evaluated. Hook
+	// delivery order is deterministic regardless of Workers, so hooks
+	// may feed progress counters or benchmark metrics without
+	// re-introducing scheduling into the results.
+	OnCell func(point, seed int, err error)
+}
+
+// Run evaluates cell over every grid coordinate and returns the
+// outcomes indexed [point][seed]. Results are byte-identical for every
+// worker count: cells only depend on their coordinates, and merging is
+// in grid order.
+func Run[T any](g Grid, cell func(point, seed int) (T, error)) [][]Outcome[T] {
+	if g.Points <= 0 || g.Seeds <= 0 {
+		return nil
+	}
+	flat := Map(g.Workers, g.Points*g.Seeds, func(i int) (T, error) {
+		return cell(i/g.Seeds, i%g.Seeds)
+	})
+	outs := make([][]Outcome[T], g.Points)
+	for p := range outs {
+		outs[p] = flat[p*g.Seeds : (p+1)*g.Seeds]
+	}
+	if g.OnCell != nil {
+		for p := 0; p < g.Points; p++ {
+			for s := 0; s < g.Seeds; s++ {
+				g.OnCell(p, s, outs[p][s].Err)
+			}
+		}
+	}
+	return outs
+}
+
+// Mean aggregates one point's outcomes tolerantly: the mean over the
+// surviving seeds, the survivor count, and the first failure by seed
+// order (with its seed index) for error reporting. ok == 0 means every
+// seed failed and the point is dead.
+func Mean(outs []Outcome[float64]) (mean float64, ok int, firstErr error, firstSeed int) {
+	sum := 0.0
+	firstSeed = -1
+	for s, out := range outs {
+		if out.Err != nil {
+			if firstErr == nil {
+				firstErr, firstSeed = out.Err, s
+			}
+			continue
+		}
+		sum += out.Value
+		ok++
+	}
+	if ok == 0 {
+		return 0, 0, firstErr, firstSeed
+	}
+	return sum / float64(ok), ok, firstErr, firstSeed
+}
+
+// FirstErr returns the first failed outcome in index order, or nil.
+// Strict consumers (every cell must succeed) abort on it.
+func FirstErr[T any](outs []Outcome[T]) error {
+	for _, out := range outs {
+		if out.Err != nil {
+			return out.Err
+		}
+	}
+	return nil
+}
+
+// Values extracts the outcome values in index order. It must only be
+// called after FirstErr returned nil (failed cells carry zero values).
+func Values[T any](outs []Outcome[T]) []T {
+	vals := make([]T, len(outs))
+	for i, out := range outs {
+		vals[i] = out.Value
+	}
+	return vals
+}
+
+// Stats summarizes a run for progress and benchmark reporting.
+type Stats struct {
+	// Cells is the number of evaluated cells, OK of which succeeded.
+	Cells, OK int
+}
+
+// Count tallies a grid's outcomes.
+func Count[T any](outs [][]Outcome[T]) Stats {
+	var st Stats
+	for _, row := range outs {
+		for _, out := range row {
+			st.Cells++
+			if out.Err == nil {
+				st.OK++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// The pool must dispatch every index exactly once for any worker count,
+// including more workers than indices and the inline serial path.
+func TestForEachIndexDispatchesEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 37
+		counts := make([]int32, n)
+		ForEachIndex(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d dispatched %d times", workers, i, c)
+			}
+		}
+	}
+	// n <= 0 must be a no-op.
+	ForEachIndex(4, 0, func(i int) { t.Errorf("dispatched index %d of empty range", i) })
+}
+
+// Map must return outcomes in index order, identical for every worker
+// count, with errors kept per cell.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	fn := func(i int) (float64, error) {
+		if i%5 == 3 {
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return float64(i * i), nil
+	}
+	ref := Map(1, 23, fn)
+	for _, workers := range []int{2, 8, 32} {
+		got := Map(workers, 23, fn)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: outcomes differ from serial", workers)
+		}
+	}
+}
+
+// A panicking cell becomes an error outcome; the other cells survive.
+func TestMapGuardsPanics(t *testing.T) {
+	outs := Map(4, 6, func(i int) (int, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	for i, out := range outs {
+		if i == 2 {
+			if out.Err == nil {
+				t.Fatal("panicking cell reported no error")
+			}
+			continue
+		}
+		if out.Err != nil || out.Value != i {
+			t.Errorf("cell %d: outcome %v, %v", i, out.Value, out.Err)
+		}
+	}
+}
+
+// Run must shape outcomes as [point][seed] with point varying slowest,
+// and deliver OnCell hooks in grid order regardless of worker count.
+func TestRunGridOrderAndHooks(t *testing.T) {
+	g := Grid{Points: 3, Seeds: 2, Workers: 8}
+	var hookOrder []string
+	g.OnCell = func(point, seed int, err error) {
+		hookOrder = append(hookOrder, fmt.Sprintf("%d/%d:%v", point, seed, err != nil))
+	}
+	outs := Run(g, func(point, seed int) (int, error) {
+		if point == 1 && seed == 1 {
+			return 0, errors.New("dead cell")
+		}
+		return 10*point + seed, nil
+	})
+	if len(outs) != 3 || len(outs[0]) != 2 {
+		t.Fatalf("grid shape %dx%d", len(outs), len(outs[0]))
+	}
+	for p := 0; p < 3; p++ {
+		for s := 0; s < 2; s++ {
+			if p == 1 && s == 1 {
+				if outs[p][s].Err == nil {
+					t.Error("dead cell has no error")
+				}
+				continue
+			}
+			if outs[p][s].Value != 10*p+s {
+				t.Errorf("cell %d/%d value %d", p, s, outs[p][s].Value)
+			}
+		}
+	}
+	want := []string{"0/0:false", "0/1:false", "1/0:false", "1/1:true", "2/0:false", "2/1:false"}
+	if !reflect.DeepEqual(hookOrder, want) {
+		t.Errorf("hook order %v, want %v", hookOrder, want)
+	}
+}
+
+// An empty grid returns nil without invoking anything.
+func TestRunEmptyGrid(t *testing.T) {
+	outs := Run(Grid{Points: 0, Seeds: 3}, func(point, seed int) (int, error) {
+		t.Error("cell invoked on empty grid")
+		return 0, nil
+	})
+	if outs != nil {
+		t.Errorf("empty grid returned %v", outs)
+	}
+}
+
+// Mean tolerates failed seeds, reports survivor coverage, and surfaces
+// the first failure by seed order.
+func TestMean(t *testing.T) {
+	outs := []Outcome[float64]{
+		{Value: 2},
+		{Err: errors.New("seed 1 broke")},
+		{Value: 4},
+	}
+	mean, ok, firstErr, firstSeed := Mean(outs)
+	if mean != 3 || ok != 2 {
+		t.Errorf("mean=%v ok=%d", mean, ok)
+	}
+	if firstErr == nil || firstSeed != 1 {
+		t.Errorf("first failure %v at seed %d", firstErr, firstSeed)
+	}
+
+	dead := []Outcome[float64]{{Err: errors.New("a")}, {Err: errors.New("b")}}
+	mean, ok, firstErr, firstSeed = Mean(dead)
+	if mean != 0 || ok != 0 || firstErr == nil || firstErr.Error() != "a" || firstSeed != 0 {
+		t.Errorf("dead point: mean=%v ok=%d err=%v seed=%d", mean, ok, firstErr, firstSeed)
+	}
+}
+
+// Phase tags must survive wrapping so degraded sweeps stay diagnosable,
+// and the tag helpers must preserve the wrapped error for errors.Is.
+func TestPhaseTags(t *testing.T) {
+	base := errors.New("root cause")
+	c := ConstructErr(base)
+	e := EvaluateErr(base)
+	if !errors.Is(c, base) || !errors.Is(e, base) {
+		t.Error("phase wrap lost the cause")
+	}
+	if got := c.Error(); got != PhaseConstruct+": root cause" {
+		t.Errorf("construct tag: %q", got)
+	}
+	if got := e.Error(); got != PhaseEvaluate+": root cause" {
+		t.Errorf("evaluate tag: %q", got)
+	}
+}
+
+func TestFirstErrAndValues(t *testing.T) {
+	ok := []Outcome[int]{{Value: 1}, {Value: 2}}
+	if err := FirstErr(ok); err != nil {
+		t.Errorf("unexpected error %v", err)
+	}
+	if got := Values(ok); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("values %v", got)
+	}
+	bad := []Outcome[int]{{Value: 1}, {Err: errors.New("x")}, {Err: errors.New("y")}}
+	if err := FirstErr(bad); err == nil || err.Error() != "x" {
+		t.Errorf("first error %v", err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	outs := [][]Outcome[int]{
+		{{Value: 1}, {Err: errors.New("dead")}},
+		{{Value: 2}, {Value: 3}},
+	}
+	st := Count(outs)
+	if st.Cells != 4 || st.OK != 3 {
+		t.Errorf("stats %+v", st)
+	}
+}

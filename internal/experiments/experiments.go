@@ -1,20 +1,28 @@
 // Package experiments implements one runner per paper artifact: Table I
-// and Figures 1-3, plus the supporting experiments E1-E13 listed in
+// and Figures 1-3, plus the supporting experiments E1-E14 listed in
 // DESIGN.md (uniform density, optimal transmission range, dominance
 // crossover, placement invariance, cluster isolation, triviality of
-// mobility, access rate, optimal phi). Each runner returns a Result
-// carrying data series, fitted exponents, ASCII renderings and the
-// textual rows to compare against the paper.
+// mobility, access rate, optimal phi, fault resilience). Each runner
+// returns a Result carrying data series, fitted exponents, ASCII
+// renderings and the textual rows to compare against the paper.
+//
+// Every grid an experiment evaluates — sizes x seeds sweeps, parameter
+// scans, placement matrices — executes through the deterministic engine
+// in internal/engine; lambda sweeps are additionally described as
+// declarative internal/scenario specs, so the canonical Table-I regimes
+// are data (see Entry.Scenarios) rather than bespoke loops.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
 
+	"hybridcap/internal/faults"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/network"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/scaling"
+	"hybridcap/internal/scenario"
 	"hybridcap/internal/traffic"
 )
 
@@ -85,7 +93,22 @@ func (o Options) sizes(def, quick []int) []int {
 // instance builds a deterministic network plus permutation traffic for
 // a parameter point and seed.
 func instance(p scaling.Params, seed uint64, placement network.BSPlacement) (*network.Network, *traffic.Pattern, error) {
-	nw, err := network.New(network.Config{Params: p, Seed: seed, BSPlacement: placement})
+	return instanceWith(p, seed, placement, nil)
+}
+
+// instanceWith is instance with an optional fault plan installed into
+// the network (the scenario path: declared outages apply to every
+// instance of a sweep).
+func instanceWith(p scaling.Params, seed uint64, placement network.BSPlacement, fc *faults.Config) (*network.Network, *traffic.Pattern, error) {
+	cfg := network.Config{Params: p, Seed: seed, BSPlacement: placement}
+	if fc != nil && fc.Active() {
+		plan, err := faults.New(*fc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: %w", err)
+		}
+		cfg.Faults = plan
+	}
+	nw, err := network.New(cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -96,37 +119,41 @@ func instance(p scaling.Params, seed uint64, placement network.BSPlacement) (*ne
 	return nw, tr, nil
 }
 
-// Registry lists every experiment by id.
+// Runner executes one experiment under the given options.
 type Runner func(Options) (*Result, error)
 
+// Entry is one registry row: the experiment id, its runner, and — when
+// the artifact is a lambda sweep — the declarative scenarios the runner
+// executes. Scenarios is nil for experiments whose artifact is not a
+// size sweep (their grids still run through internal/engine).
+type Entry struct {
+	ID        string
+	Run       Runner
+	Scenarios []*scenario.Scenario
+}
+
 // All returns the full experiment registry in presentation order.
-func All() []struct {
-	ID  string
-	Run Runner
-} {
-	return []struct {
-		ID  string
-		Run Runner
-	}{
-		{"T1", Table1},
-		{"F1", Figure1},
-		{"F2", Figure2},
-		{"F3L", Figure3Left},
-		{"F3R", Figure3Right},
-		{"E1", UniformDensity},
-		{"E2", OptimalRT},
-		{"E3", NoBSCapacity},
-		{"E4", DominanceCrossover},
-		{"E5", PlacementInvariance},
-		{"E6", ClusterIsolation},
-		{"E7", TrivialMobilityPersistence},
-		{"E8", WeakNoBS},
-		{"E9", OptimalPhi},
-		{"E10", AccessRate},
-		{"E11", DelayThroughput},
-		{"E12", BSOutage},
-		{"E13", KernelInvariance},
-		{"E14", Resilience},
+func All() []Entry {
+	return []Entry{
+		{ID: "T1", Run: Table1, Scenarios: table1Scenarios()},
+		{ID: "F1", Run: Figure1},
+		{ID: "F2", Run: Figure2},
+		{ID: "F3L", Run: Figure3Left},
+		{ID: "F3R", Run: Figure3Right},
+		{ID: "E1", Run: UniformDensity},
+		{ID: "E2", Run: OptimalRT},
+		{ID: "E3", Run: NoBSCapacity, Scenarios: []*scenario.Scenario{e3Scenario()}},
+		{ID: "E4", Run: DominanceCrossover},
+		{ID: "E5", Run: PlacementInvariance},
+		{ID: "E6", Run: ClusterIsolation},
+		{ID: "E7", Run: TrivialMobilityPersistence},
+		{ID: "E8", Run: WeakNoBS, Scenarios: []*scenario.Scenario{e8Scenario()}},
+		{ID: "E9", Run: OptimalPhi},
+		{ID: "E10", Run: AccessRate},
+		{ID: "E11", Run: DelayThroughput},
+		{ID: "E12", Run: BSOutage},
+		{ID: "E13", Run: KernelInvariance},
+		{ID: "E14", Run: Resilience},
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridcap/internal/asciiplot"
+	"hybridcap/internal/engine"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/mobility"
 	"hybridcap/internal/network"
@@ -104,24 +105,28 @@ func BSOutage(o Options) (*Result, error) {
 		XName:       "survivingFraction",
 	}
 	series := &measure.Series{Name: "lambda(schemeB)"}
-	var baseline float64
-	for _, outage := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
-		sum := 0.0
-		for s := 0; s < o.seeds(); s++ {
-			nw, tr, err := instance(p, uint64(50+s), network.Grid)
+	outages := []float64{0, 0.25, 0.5, 0.75, 0.9}
+	outs := engine.Run(engine.Grid{Points: len(outages), Seeds: o.seeds(), Workers: o.workers()},
+		func(point, seed int) (float64, error) {
+			nw, tr, err := instance(p, uint64(50+seed), network.Grid)
 			if err != nil {
-				return nil, err
+				return 0, engine.ConstructErr(err)
 			}
-			if err := nw.RemoveBS(outage, uint64(60+s)); err != nil {
-				return nil, err
+			if err := nw.RemoveBS(outages[point], uint64(60+seed)); err != nil {
+				return 0, engine.ConstructErr(err)
 			}
 			ev, err := (routing.SchemeB{}).Evaluate(nw, tr)
 			if err != nil {
-				return nil, err
+				return 0, engine.EvaluateErr(err)
 			}
-			sum += ev.Lambda
+			return ev.Lambda, nil
+		})
+	var baseline float64
+	for i, outage := range outages {
+		if err := engine.FirstErr(outs[i]); err != nil {
+			return nil, err
 		}
-		mean := sum / float64(o.seeds())
+		mean, _, _, _ := engine.Mean(outs[i])
 		if outage == 0 {
 			baseline = mean
 		}
@@ -163,21 +168,28 @@ func KernelInvariance(o Options) (*Result, error) {
 		mobility.TruncGauss{Sigma: 0.4, D: 1},
 		mobility.PowerLaw{D0: 0.3, Beta: 2, D: 1},
 	}
-	series := &measure.Series{Name: "lambda(schemeA)"}
-	var min, max float64
-	for i, k := range kernels {
-		nw, err := network.New(network.Config{Params: p, Seed: 71, Kernel: k})
+	outs := engine.Map(o.workers(), len(kernels), func(i int) (*routing.Evaluation, error) {
+		nw, err := network.New(network.Config{Params: p, Seed: 71, Kernel: kernels[i]})
 		if err != nil {
-			return nil, err
+			return nil, engine.ConstructErr(err)
 		}
 		tr, err := trafficFor(p.N, 71)
 		if err != nil {
-			return nil, err
+			return nil, engine.ConstructErr(err)
 		}
 		ev, err := (routing.SchemeA{}).Evaluate(nw, tr)
 		if err != nil {
-			return nil, err
+			return nil, engine.EvaluateErr(err)
 		}
+		return ev, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	series := &measure.Series{Name: "lambda(schemeA)"}
+	var min, max float64
+	for i, k := range kernels {
+		ev := outs[i].Value
 		series.Add(float64(i+1), ev.Lambda)
 		if i == 0 || ev.Lambda < min {
 			min = ev.Lambda

@@ -6,6 +6,7 @@ import (
 
 	"hybridcap/internal/asciiplot"
 	"hybridcap/internal/capacity"
+	"hybridcap/internal/engine"
 	"hybridcap/internal/geom"
 	"hybridcap/internal/linkcap"
 	"hybridcap/internal/measure"
@@ -42,28 +43,40 @@ func Figure1(o Options) (*Result, error) {
 		{"uniformly dense (strong mobility)",
 			scaling.Params{N: n, Alpha: 0.2, K: 0.6, Phi: 0, M: 1, R: 0}},
 	}
-	var renders []string
-	for _, c := range cases {
-		nw, _, err := instance(c.p, 11, network.Matched)
+	type densityCell struct {
+		field []float64
+		rep   linkcap.UniformityReport
+	}
+	outs := engine.Map(o.workers(), len(cases), func(i int) (densityCell, error) {
+		nw, _, err := instance(cases[i].p, 11, network.Matched)
 		if err != nil {
-			return nil, err
+			return densityCell{}, engine.ConstructErr(err)
 		}
 		g := geom.NewGridCells(gridSide)
 		field := linkcap.DensityField(nw, g)
 		rep, err := linkcap.Uniformity(field)
 		if err != nil {
-			return nil, err
+			return densityCell{}, engine.EvaluateErr(err)
 		}
+		return densityCell{field: field, rep: rep}, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	var renders []string
+	g := geom.NewGridCells(gridSide)
+	for i, c := range cases {
+		cell := outs[i].Value
 		regime, _ := capacity.Classify(c.p)
 		res.Rows = append(res.Rows, fmt.Sprintf("%-48s regime=%-8s rho range [%.3g, %.3g] ratio %.3g",
-			c.title, regime, rep.Min, rep.Max, rep.Ratio))
-		hm, err := asciiplot.Heatmap(c.title, field, g.Cols, g.Rows)
+			c.title, regime, cell.rep.Min, cell.rep.Max, cell.rep.Ratio))
+		hm, err := asciiplot.Heatmap(c.title, cell.field, g.Cols, g.Rows)
 		if err != nil {
 			return nil, err
 		}
 		renders = append(renders, hm)
 		s := &measure.Series{Name: c.title}
-		for i, v := range field {
+		for i, v := range cell.field {
 			s.Add(float64(i), v)
 		}
 		res.Series = append(res.Series, s)
@@ -155,14 +168,20 @@ func figure3(id, title string, phi float64, o Options) (*Result, error) {
 	const cols, rows = 26, 21 // alpha in [0, 0.5] step 0.02, K in [0,1] step 0.05
 	field := make([]float64, cols*rows)
 	boundary := &measure.Series{Name: "dominance boundary K(alpha)"}
-	for r := 0; r < rows; r++ {
+	// Analytic, but still a grid: each heatmap row is one engine cell.
+	rowOuts := engine.Map(o.workers(), rows, func(r int) ([]float64, error) {
 		kexp := float64(r) / float64(rows-1)
+		vals := make([]float64, cols)
 		for c := 0; c < cols; c++ {
 			alpha := 0.5 * float64(c) / float64(cols-1)
 			p := scaling.Params{N: 1 << 20, Alpha: alpha, K: kexp, Phi: phi, M: 1, R: 0}
 			e, _ := capacity.CapacityExponents(p)
-			field[r*cols+c] = e
+			vals[c] = e
 		}
+		return vals, nil
+	})
+	for r, out := range rowOuts {
+		copy(field[r*cols:(r+1)*cols], out.Value)
 	}
 	// Dominance boundary: mobility term -alpha equals infra term
 	// K - 1 + min(phi, 0)  =>  K = 1 - alpha - min(phi, 0).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridcap/internal/asciiplot"
+	"hybridcap/internal/engine"
 	"hybridcap/internal/faults"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/network"
@@ -38,41 +39,35 @@ func Resilience(o Options) (*Result, error) {
 	type seedOutcome struct {
 		lambda            float64
 		degraded, dropped int
-		err               error
 	}
 	evalAt := func(fc faults.Config) (lambda float64, degraded, dropped int, err error) {
-		outcomes := make([]seedOutcome, o.seeds())
-		forEachIndex(o.workers(), o.seeds(), func(s int) {
+		outs := engine.Map(o.workers(), o.seeds(), func(s int) (seedOutcome, error) {
 			plan, perr := faults.New(fc)
 			if perr != nil {
-				outcomes[s] = seedOutcome{err: perr}
-				return
+				return seedOutcome{}, engine.ConstructErr(perr)
 			}
 			nw, nerr := network.New(network.Config{Params: p, Seed: uint64(90 + s), BSPlacement: network.Grid, Faults: plan})
 			if nerr != nil {
-				outcomes[s] = seedOutcome{err: nerr}
-				return
+				return seedOutcome{}, engine.ConstructErr(nerr)
 			}
 			tr, terr := trafficFor(p.N, uint64(90+s))
 			if terr != nil {
-				outcomes[s] = seedOutcome{err: terr}
-				return
+				return seedOutcome{}, engine.ConstructErr(terr)
 			}
 			ev, eerr := scheme.Evaluate(nw, tr)
 			if eerr != nil {
-				outcomes[s] = seedOutcome{err: eerr}
-				return
+				return seedOutcome{}, engine.EvaluateErr(eerr)
 			}
-			outcomes[s] = seedOutcome{lambda: ev.Lambda, degraded: ev.Degraded, dropped: ev.Dropped}
+			return seedOutcome{lambda: ev.Lambda, degraded: ev.Degraded, dropped: ev.Dropped}, nil
 		})
+		if err := engine.FirstErr(outs); err != nil {
+			return 0, 0, 0, err
+		}
 		sum := 0.0
-		for _, out := range outcomes {
-			if out.err != nil {
-				return 0, 0, 0, out.err
-			}
-			sum += out.lambda
-			degraded += out.degraded
-			dropped += out.dropped
+		for _, out := range outs {
+			sum += out.Value.lambda
+			degraded += out.Value.degraded
+			dropped += out.Value.dropped
 		}
 		return sum / float64(o.seeds()), degraded / o.seeds(), dropped / o.seeds(), nil
 	}
@@ -83,26 +78,23 @@ func Resilience(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	floors := make([]seedOutcome, o.seeds())
-	forEachIndex(o.workers(), o.seeds(), func(s int) {
+	floors := engine.Map(o.workers(), o.seeds(), func(s int) (float64, error) {
 		nw, tr, ierr := instance(p, uint64(90+s), network.Grid)
 		if ierr != nil {
-			floors[s] = seedOutcome{err: ierr}
-			return
+			return 0, engine.ConstructErr(ierr)
 		}
 		ev, eerr := (routing.SchemeA{}).Evaluate(nw, tr)
 		if eerr != nil {
-			floors[s] = seedOutcome{err: eerr}
-			return
+			return 0, engine.EvaluateErr(eerr)
 		}
-		floors[s] = seedOutcome{lambda: ev.Lambda}
+		return ev.Lambda, nil
 	})
+	if err := engine.FirstErr(floors); err != nil {
+		return nil, err
+	}
 	floorSum := 0.0
 	for _, out := range floors {
-		if out.err != nil {
-			return nil, out.err
-		}
-		floorSum += out.lambda
+		floorSum += out.Value
 	}
 	floor := floorSum / float64(o.seeds())
 	res.Rows = append(res.Rows,

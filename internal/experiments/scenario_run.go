@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridcap/internal/asciiplot"
+	"hybridcap/internal/capacity"
+	"hybridcap/internal/measure"
+	"hybridcap/internal/scenario"
+)
+
+// RunScenario executes one declarative scenario through the grid engine
+// and packages the sweep as a Result: the measured lambda series with
+// per-point coverage, the regime classification and theoretical
+// capacity order at the largest size, and — when the scenario requests
+// it — a power-law fit of the measured exponent. This is the runner
+// behind `capsim -scenario file.json`; the built-in Table-I regimes
+// (Entry.Scenarios) execute through the same path.
+func RunScenario(sc *scenario.Scenario, o Options) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Seeds == 0 && sc.Seeds > 0 {
+		o.Seeds = sc.Seeds
+	}
+	sizes := o.sizes(sc.SizesFor(false), sc.SizesFor(true))
+	series, err := sweepScenario(o, sc, sizes)
+	if err != nil {
+		return nil, err
+	}
+	desc := sc.Description
+	if desc == "" {
+		desc = fmt.Sprintf("scenario %s", sc.Name)
+	}
+	res := &Result{
+		ID:          sc.Name,
+		Description: desc,
+		XName:       "n",
+		Series:      []*measure.Series{series},
+	}
+	placement, err := sc.PlacementScheme()
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, fmt.Sprintf("schemes %v, placement %s, %d sizes x %d seeds",
+		sc.Schemes, placement, len(sizes), o.seeds()))
+	if fc := sc.FaultConfig(); fc != nil {
+		res.Rows = append(res.Rows, fmt.Sprintf(
+			"faults: seed=%d bs-outage=%.3g count=%d edge-outage=%.3g derating=%.3g erasure=%.3g",
+			fc.Seed, fc.BSOutageFraction, fc.BSOutageCount, fc.EdgeOutageFraction, fc.EdgeDerating, fc.WirelessErasure))
+	}
+	for i := range series.X {
+		res.Rows = append(res.Rows, fmt.Sprintf("n=%6.0f lambda=%.5g seeds-ok=%d/%d",
+			series.X[i], series.Y[i], series.OK[i], series.Attempts[i]))
+	}
+	p := sc.Base.Params(sizes[len(sizes)-1])
+	regime, _ := capacity.Classify(p)
+	res.Rows = append(res.Rows, fmt.Sprintf("regime %v, theory capacity %v, optimal RT %v",
+		regime, capacity.PerNodeCapacity(p), capacity.OptimalRT(p)))
+	if sc.Fit {
+		fit, err := series.Fit()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fit %s: %w", sc.Name, err)
+		}
+		res.Fits = map[string]*measure.Fit{sc.Name: fit}
+	}
+	chart := asciiplot.LineChart{LogX: true, LogY: true, Title: "lambda vs n"}
+	ascii, err := chart.Render([]string{series.Name}, [][]float64{series.X}, [][]float64{series.Y})
+	if err != nil {
+		return nil, err
+	}
+	res.Ascii = ascii
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"hybridcap/internal/asciiplot"
 	"hybridcap/internal/capacity"
+	"hybridcap/internal/engine"
 	"hybridcap/internal/flow"
 	"hybridcap/internal/geom"
 	"hybridcap/internal/linkcap"
@@ -13,6 +14,7 @@ import (
 	"hybridcap/internal/network"
 	"hybridcap/internal/routing"
 	"hybridcap/internal/scaling"
+	"hybridcap/internal/scenario"
 	"hybridcap/internal/sim"
 	"hybridcap/internal/traffic"
 )
@@ -53,14 +55,23 @@ func UniformDensity(o Options) (*Result, error) {
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("experiments: E1 point %v: %w", p, err)
 		}
-		nw, _, err := instance(p, 21, network.Matched)
+	}
+	outs := engine.Map(o.workers(), len(points), func(i int) (linkcap.UniformityReport, error) {
+		nw, _, err := instance(points[i], 21, network.Matched)
 		if err != nil {
-			return nil, err
+			return linkcap.UniformityReport{}, engine.ConstructErr(err)
 		}
 		rep, err := linkcap.Uniformity(linkcap.DensityField(nw, g))
 		if err != nil {
-			return nil, err
+			return linkcap.UniformityReport{}, engine.EvaluateErr(err)
 		}
+		return rep, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		rep := outs[i].Value
 		// An exactly-zero minimum density (regions out of reach of every
 		// home-point) is the extreme of non-uniformity; cap the ratio so
 		// it stays plottable.
@@ -100,15 +111,23 @@ func OptimalRT(o Options) (*Result, error) {
 	}
 	series := &measure.Series{Name: "scheduled pairs per slot"}
 	critical := 1 / math.Sqrt(float64(n))
-	for _, mult := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 1, 2, 4, 8} {
+	mults := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 1, 2, 4, 8}
+	outs := engine.Map(o.workers(), len(mults), func(i int) (*sim.ContactReport, error) {
 		nw, _, err := instance(p, 22, 0)
 		if err != nil {
-			return nil, err
+			return nil, engine.ConstructErr(err)
 		}
-		rep, err := sim.MeasureContacts(nw, sim.ContactConfig{RT: mult * critical, Slots: slots, Delta: -1})
+		rep, err := sim.MeasureContacts(nw, sim.ContactConfig{RT: mults[i] * critical, Slots: slots, Delta: -1})
 		if err != nil {
-			return nil, err
+			return nil, engine.EvaluateErr(err)
 		}
+		return rep, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, mult := range mults {
+		rep := outs[i].Value
 		series.Add(mult, rep.PairsPerSlot)
 		res.Rows = append(res.Rows, fmt.Sprintf("rt=%.3f/sqrt(n) pairs/slot=%8.2f scheduledFrac=%.4f",
 			mult, rep.PairsPerSlot, rep.ScheduledFrac))
@@ -123,49 +142,58 @@ func OptimalRT(o Options) (*Result, error) {
 	return res, nil
 }
 
+// e3Scenario is the declarative regime of NoBSCapacity's sweep. The
+// scenario name is the series/fit key (and seed salt) "schemeA".
+func e3Scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "schemeA",
+		Description: "Theorem 3: BS-free strong-mobility capacity Theta(1/f)",
+		Base:        scenario.Exponents{Alpha: 0.3, K: -1, M: 1},
+		Sizes:       []int{1024, 2048, 4096, 8192, 16384},
+		QuickSizes:  []int{512, 1024, 2048},
+		Schemes:     []string{"schemeA"},
+		Placement:   "grid",
+		Fit:         true,
+	}
+}
+
 // NoBSCapacity (E3) validates Theorem 3: the BS-free capacity under
 // scheme A scales as 1/f(n), and stays below the Lemma 6 cut bound.
 func NoBSCapacity(o Options) (*Result, error) {
-	sizes := o.sizes([]int{1024, 2048, 4096, 8192, 16384}, []int{512, 1024, 2048})
-	base := scaling.Params{Alpha: 0.3, K: -1, M: 1}
+	sc := e3Scenario()
+	sizes := o.sizes(sc.SizesFor(false), sc.SizesFor(true))
+	base := sc.Base.Params(0)
 	res := &Result{
 		ID:          "E3",
 		Description: "Theorem 3: BS-free capacity Theta(1/f) with cut-bound check",
 		XName:       "n",
 		Fits:        map[string]*measure.Fit{},
 	}
-	lam, err := sweepLambda(o, "schemeA", sizes, base, network.Grid, schemeEval(routing.SchemeA{}))
+	lam, err := sweepScenario(o, sc, sizes)
 	if err != nil {
 		return nil, err
 	}
 	bound := &measure.Series{Name: "cutBound"}
-	type boundCell struct {
-		v   float64
-		err error
-	}
-	boundCells := make([]boundCell, len(sizes))
-	forEachIndex(o.workers(), len(sizes), func(i int) {
+	outs := engine.Map(o.workers(), len(sizes), func(i int) (float64, error) {
 		p := base.WithN(sizes[i])
 		nw, tr, err := instance(p, 23, network.Grid)
 		if err != nil {
-			boundCells[i] = boundCell{err: err}
-			return
+			return 0, engine.ConstructErr(err)
 		}
-		cb, err := EvaluateHalfTorusCut(nw, tr)
-		boundCells[i] = boundCell{v: cb, err: err}
+		return EvaluateHalfTorusCut(nw, tr)
 	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
 	for i, n := range sizes {
-		if boundCells[i].err != nil {
-			return nil, boundCells[i].err
-		}
-		bound.Add(float64(n), boundCells[i].v)
+		bound.Add(float64(n), outs[i].Value)
 	}
 	res.Series = append(res.Series, lam, bound)
 	fit, err := lam.Fit()
 	if err != nil {
 		return nil, err
 	}
-	res.Fits["schemeA"] = fit
+	res.Fits[sc.Name] = fit
 	for i := range lam.X {
 		ok := "OK"
 		if lam.Y[i] > bound.Y[i] {
@@ -175,7 +203,7 @@ func NoBSCapacity(o Options) (*Result, error) {
 			lam.X[i], lam.Y[i], bound.Y[i], ok))
 	}
 	res.Rows = append(res.Rows, fmt.Sprintf("fitted exponent %.3f (theory %.3f), R2=%.3f",
-		fit.Exponent, -base.Alpha, fit.R2))
+		fit.Exponent, -sc.Base.Alpha, fit.R2))
 	return res, nil
 }
 
@@ -196,17 +224,26 @@ func DominanceCrossover(o Options) (*Result, error) {
 	}
 	measured := &measure.Series{Name: "measured lambda"}
 	theory := &measure.Series{Name: "theory exponent eval"}
-	for _, kexp := range []float64{0.3, 0.45, 0.6, 0.7, 0.8, 0.9, 1.0} {
-		p := scaling.Params{N: n, Alpha: alpha, K: kexp, Phi: 1, M: 1, R: 0}
+	kexps := []float64{0.3, 0.45, 0.6, 0.7, 0.8, 0.9, 1.0}
+	outs := engine.Map(o.workers(), len(kexps), func(i int) (float64, error) {
+		p := scaling.Params{N: n, Alpha: alpha, K: kexps[i], Phi: 1, M: 1, R: 0}
 		nw, tr, err := instance(p, 24, network.Grid)
 		if err != nil {
-			return nil, err
+			return 0, engine.ConstructErr(err)
 		}
 		eval := bestOf(schemeEval(routing.SchemeA{}), schemeEval(routing.SchemeB{}))
 		v, err := eval(nw, tr)
 		if err != nil {
-			return nil, err
+			return 0, engine.EvaluateErr(err)
 		}
+		return v, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, kexp := range kexps {
+		p := scaling.Params{N: n, Alpha: alpha, K: kexp, Phi: 1, M: 1, R: 0}
+		v := outs[i].Value
 		measured.Add(kexp, v)
 		theory.Add(kexp, capacity.PerNodeCapacity(p).Eval(float64(n)))
 		res.Rows = append(res.Rows, fmt.Sprintf("K=%.2f lambda=%.5g dominance=%v",
@@ -243,36 +280,23 @@ func PlacementInvariance(o Options) (*Result, error) {
 	series := &measure.Series{Name: "lambda"}
 	vals := map[network.BSPlacement]float64{}
 	placements := []network.BSPlacement{network.Matched, network.Uniform, network.Grid}
-	seeds := o.seeds()
-	type placementCell struct {
-		v   float64
-		err error
-	}
-	cells := make([]placementCell, len(placements)*seeds)
-	forEachIndex(o.workers(), len(cells), func(i int) {
-		s := i % seeds
-		nw, tr, err := instance(p, uint64(100*s+25), placements[i/seeds])
-		if err != nil {
-			cells[i] = placementCell{err: err}
-			return
-		}
-		ev, err := (routing.SchemeB{}).Evaluate(nw, tr)
-		if err != nil {
-			cells[i] = placementCell{err: err}
-			return
-		}
-		cells[i] = placementCell{v: ev.Lambda}
-	})
-	for i, placement := range placements {
-		sum := 0.0
-		for s := 0; s < seeds; s++ {
-			c := cells[i*seeds+s]
-			if c.err != nil {
-				return nil, c.err
+	outs := engine.Run(engine.Grid{Points: len(placements), Seeds: o.seeds(), Workers: o.workers()},
+		func(point, seed int) (float64, error) {
+			nw, tr, err := instance(p, uint64(100*seed+25), placements[point])
+			if err != nil {
+				return 0, engine.ConstructErr(err)
 			}
-			sum += c.v
+			ev, err := (routing.SchemeB{}).Evaluate(nw, tr)
+			if err != nil {
+				return 0, engine.EvaluateErr(err)
+			}
+			return ev.Lambda, nil
+		})
+	for i, placement := range placements {
+		if err := engine.FirstErr(outs[i]); err != nil {
+			return nil, err
 		}
-		mean := sum / float64(seeds)
+		mean, _, _, _ := engine.Mean(outs[i])
 		vals[placement] = mean
 		series.Add(float64(i+1), mean)
 		res.Rows = append(res.Rows, fmt.Sprintf("%-8s lambda=%.5g", placement, mean))
@@ -305,18 +329,12 @@ func ClusterIsolation(o Options) (*Result, error) {
 	series := &measure.Series{Name: "fraction of clusters with close neighbor"}
 	const delta = 1.0
 	seeds := o.seeds()
-	for _, n := range sizes {
-		p := base.WithN(n)
-		type isolationCell struct {
-			frac float64
-			err  error
-		}
-		cells := make([]isolationCell, seeds)
-		forEachIndex(o.workers(), seeds, func(s int) {
-			nw, _, err := instance(p, uint64(31+s), network.Matched)
+	outs := engine.Run(engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()},
+		func(point, seed int) (float64, error) {
+			p := base.WithN(sizes[point])
+			nw, _, err := instance(p, uint64(31+seed), network.Matched)
 			if err != nil {
-				cells[s] = isolationCell{err: err}
-				return
+				return 0, engine.ConstructErr(err)
 			}
 			centers := nw.Placement.ClusterCenters
 			r := p.ClusterRadius()
@@ -329,16 +347,14 @@ func ClusterIsolation(o Options) (*Result, error) {
 					}
 				}
 			}
-			cells[s] = isolationCell{frac: float64(tooClose) / float64(len(centers))}
+			return float64(tooClose) / float64(len(centers)), nil
 		})
-		frac := 0.0
-		for s := 0; s < seeds; s++ {
-			if cells[s].err != nil {
-				return nil, cells[s].err
-			}
-			frac += cells[s].frac
+	for i, n := range sizes {
+		if err := engine.FirstErr(outs[i]); err != nil {
+			return nil, err
 		}
-		frac /= float64(seeds)
+		frac, _, _, _ := engine.Mean(outs[i])
+		p := base.WithN(n)
 		series.Add(float64(n), frac)
 		res.Rows = append(res.Rows, fmt.Sprintf("n=%6d m=%4d r=%.4f close-fraction=%.4f",
 			n, p.NumClusters(), p.ClusterRadius(), frac))
@@ -366,47 +382,73 @@ func TrivialMobilityPersistence(o Options) (*Result, error) {
 		XName:       "subnetIndex",
 	}
 	series := &measure.Series{Name: "link persistence"}
+	// Points with M - 2R >= 0 have no isolated-subnet structure and are
+	// filtered before the grid runs.
+	var points []scaling.Params
 	for _, alpha := range []float64{0.15, 0.3, 0.45, 0.6, 0.75, 0.9} {
 		p := scaling.Params{N: n, Alpha: alpha, K: 0.6, Phi: 0, M: 0.2, R: math.Min(0.11, alpha)}
 		if p.M-2*p.R >= 0 {
 			continue
 		}
+		points = append(points, p)
+	}
+	outs := engine.Map(o.workers(), len(points), func(i int) (float64, error) {
+		p := points[i]
 		nw, _, err := instance(p, 26, network.Matched)
 		if err != nil {
-			return nil, err
+			return 0, engine.ConstructErr(err)
 		}
 		// Probe links at the weak-regime optimal range r*sqrt(m/n).
 		rt := p.ClusterRadius() * math.Sqrt(float64(p.NumClusters())/float64(n))
 		pers, err := sim.LinkPersistence(nw, rt, slots)
 		if err != nil {
-			return nil, err
+			return 0, engine.EvaluateErr(err)
 		}
+		return pers, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		pers := outs[i].Value
 		regime, _ := capacity.Classify(p)
 		series.Add(p.SubnetMobilityIndex(), pers)
 		res.Rows = append(res.Rows, fmt.Sprintf("alpha=%.2f subnetIndex=%9.3g persistence=%.3f regime=%v",
-			alpha, p.SubnetMobilityIndex(), pers, regime))
+			p.Alpha, p.SubnetMobilityIndex(), pers, regime))
 	}
 	res.Series = append(res.Series, series)
 	return res, nil
+}
+
+// e8Scenario is the declarative regime of WeakNoBS's sweep: the
+// gridMultihop scheme resolves its cell side sqrt(gamma(n)) at each
+// grid point's own parameters.
+func e8Scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "gridMultihop",
+		Description: "Corollary 3: weak-mobility BS-free capacity",
+		Base:        scenario.Exponents{Alpha: 0.45, K: -1, M: 0.8, R: 0.42},
+		Sizes:       []int{2048, 4096, 8192, 16384, 32768},
+		QuickSizes:  []int{1024, 2048, 4096},
+		Schemes:     []string{"gridMultihop"},
+		Placement:   "grid",
+		Fit:         true,
+	}
 }
 
 // WeakNoBS (E8) validates Corollary 3: without infrastructure, the
 // non-uniformly dense network's capacity scales as
 // sqrt(m/(n^2 log m)).
 func WeakNoBS(o Options) (*Result, error) {
-	sizes := o.sizes([]int{2048, 4096, 8192, 16384, 32768}, []int{1024, 2048, 4096})
-	base := scaling.Params{Alpha: 0.45, K: -1, M: 0.8, R: 0.42}
+	sc := e8Scenario()
+	sizes := o.sizes(sc.SizesFor(false), sc.SizesFor(true))
 	res := &Result{
 		ID:          "E8",
 		Description: "Corollary 3: weak-mobility BS-free capacity",
 		XName:       "n",
 		Fits:        map[string]*measure.Fit{},
 	}
-	lam, err := sweepLambda(o, "gridMultihop", sizes, base, network.Grid,
-		func(nw *network.Network, tr *traffic.Pattern) (float64, error) {
-			side := math.Sqrt(nw.Cfg.Params.Gamma())
-			return schemeEval(routing.GridMultihop{Side: side, Delta: -1})(nw, tr)
-		})
+	lam, err := sweepScenario(o, sc, sizes)
 	if err != nil {
 		return nil, err
 	}
@@ -415,8 +457,8 @@ func WeakNoBS(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Fits["gridMultihop"] = fit
-	theory := capacity.PerNodeCapacity(base.WithN(sizes[0]))
+	res.Fits[sc.Name] = fit
+	theory := capacity.PerNodeCapacity(sc.Base.Params(sizes[0]))
 	res.Rows = append(res.Rows, fmt.Sprintf("fitted exponent %.3f vs theory %v", fit.Exponent, theory))
 	return res, nil
 }
@@ -437,16 +479,25 @@ func OptimalPhi(o Options) (*Result, error) {
 		XName:       "phi",
 	}
 	series := &measure.Series{Name: "lambda(schemeB)"}
-	for _, phi := range []float64{-1, -0.75, -0.5, -0.25, 0, 0.25, 0.5, 1} {
-		p := scaling.Params{N: n, Alpha: 0.25, K: 0.6, Phi: phi, M: 1, R: 0}
+	phis := []float64{-1, -0.75, -0.5, -0.25, 0, 0.25, 0.5, 1}
+	outs := engine.Map(o.workers(), len(phis), func(i int) (*routing.Evaluation, error) {
+		p := scaling.Params{N: n, Alpha: 0.25, K: 0.6, Phi: phis[i], M: 1, R: 0}
 		nw, tr, err := instance(p, 27, network.Grid)
 		if err != nil {
-			return nil, err
+			return nil, engine.ConstructErr(err)
 		}
 		ev, err := (routing.SchemeB{}).Evaluate(nw, tr)
 		if err != nil {
-			return nil, err
+			return nil, engine.EvaluateErr(err)
 		}
+		return ev, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, phi := range phis {
+		p := scaling.Params{N: n, Alpha: 0.25, K: 0.6, Phi: phi, M: 1, R: 0}
+		ev := outs[i].Value
 		series.Add(phi, ev.Lambda)
 		res.Rows = append(res.Rows, fmt.Sprintf("phi=%+5.2f lambda=%.5g bottleneck=%-8s theory-bottleneck=%s",
 			phi, ev.Lambda, ev.Bottleneck, capacity.BackboneBottleneck(p)))
@@ -474,26 +525,37 @@ func AccessRate(o Options) (*Result, error) {
 		XName:       "K",
 	}
 	ratio := &measure.Series{Name: "muA / (k/n)"}
-	for _, kexp := range []float64{0.4, 0.5, 0.6, 0.7, 0.8} {
-		p := scaling.Params{N: n, Alpha: 0.25, K: kexp, Phi: 0, M: 1, R: 0}
+	kexps := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	type accessCell struct {
+		mean  float64
+		numBS int
+	}
+	outs := engine.Map(o.workers(), len(kexps), func(i int) (accessCell, error) {
+		p := scaling.Params{N: n, Alpha: 0.25, K: kexps[i], Phi: 0, M: 1, R: 0}
 		nw, _, err := instance(p, 28, network.Uniform)
 		if err != nil {
-			return nil, err
+			return accessCell{}, engine.ConstructErr(err)
 		}
 		a, err := linkcap.NewAnalytic(nw, 0)
 		if err != nil {
-			return nil, err
+			return accessCell{}, engine.EvaluateErr(err)
 		}
 		const probes = 128
 		sum := 0.0
 		for i := 0; i < probes; i++ {
 			sum += a.AccessRate(nw.HomePoints()[i*nw.NumMS()/probes], nw.BSPos)
 		}
-		mean := sum / probes
-		kn := float64(nw.NumBS()) / float64(n)
-		ratio.Add(kexp, mean/kn)
+		return accessCell{mean: sum / probes, numBS: nw.NumBS()}, nil
+	})
+	if err := engine.FirstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, kexp := range kexps {
+		c := outs[i].Value
+		kn := float64(c.numBS) / float64(n)
+		ratio.Add(kexp, c.mean/kn)
 		res.Rows = append(res.Rows, fmt.Sprintf("K=%.2f k=%5d muA=%.5g k/n=%.5g ratio=%.3f",
-			kexp, nw.NumBS(), mean, kn, mean/kn))
+			kexp, c.numBS, c.mean, kn, c.mean/kn))
 	}
 	res.Series = append(res.Series, ratio)
 	res.Rows = append(res.Rows, "theory: ratio constant in K (Lemma 9)")

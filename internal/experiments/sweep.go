@@ -3,11 +3,14 @@ package experiments
 import (
 	"fmt"
 
+	"hybridcap/internal/engine"
+	"hybridcap/internal/faults"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/network"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/routing"
 	"hybridcap/internal/scaling"
+	"hybridcap/internal/scenario"
 	"hybridcap/internal/traffic"
 )
 
@@ -54,6 +57,24 @@ func bestOf(evals ...evalFn) evalFn {
 	}
 }
 
+// scenarioEval evaluates a declarative scheme set: each name is
+// resolved against the instance's own parameter point (gridMultihop
+// picks its cell side from gamma(n) there) and the point scores the
+// best of them.
+func scenarioEval(names []string) evalFn {
+	return func(nw *network.Network, tr *traffic.Pattern) (float64, error) {
+		evals := make([]evalFn, 0, len(names))
+		for _, name := range names {
+			s, err := routing.ByName(name, nw.Cfg.Params)
+			if err != nil {
+				return 0, err
+			}
+			evals = append(evals, schemeEval(s))
+		}
+		return bestOf(evals...)(nw, tr)
+	}
+}
+
 // trafficFor draws the permutation traffic for a node count and seed.
 func trafficFor(n int, seed uint64) (*traffic.Pattern, error) {
 	return traffic.NewPermutation(n, rng.New(seed).Derive("traffic").Rand())
@@ -70,99 +91,89 @@ func safeEval(eval evalFn, nw *network.Network, tr *traffic.Pattern) (v float64,
 	return eval(nw, tr)
 }
 
-// Cell-failure phase tags, so a degraded sweep's error says whether
-// instance construction or scheme evaluation broke.
+// Cell-failure phase tags, owned by the grid engine: a degraded sweep's
+// error says whether instance construction or scheme evaluation broke.
 const (
-	phaseConstruct = "construct instance"
-	phaseEvaluate  = "evaluate"
+	phaseConstruct = engine.PhaseConstruct
+	phaseEvaluate  = engine.PhaseEvaluate
 )
 
 // sweepCell is one (size, seed) point of the grid. Seeds are derived
 // up front from the splittable rng, so the cell is self-contained and
 // its result cannot depend on which worker runs it or when.
 type sweepCell struct {
-	sizeIdx int
-	seedIdx int
-	params  scaling.Params
-	seed    uint64
+	params scaling.Params
+	seed   uint64
 }
 
-// cellOutcome is the result of evaluating one cell. Err carries the
-// failure phase tag; cells fail independently and the merge decides
-// whether the point (and the sweep) survives.
-type cellOutcome struct {
-	v   float64
-	err error
-}
-
-// runCell builds the cell's instance and evaluates it, tagging failures
-// with their phase.
-func runCell(c sweepCell, placement network.BSPlacement, eval evalFn) cellOutcome {
-	nw, tr, err := instance(c.params, c.seed, placement)
+// runCell builds the cell's instance (installing the optional fault
+// plan) and evaluates it, tagging failures with their phase.
+func runCell(c sweepCell, placement network.BSPlacement, fc *faults.Config, eval evalFn) (float64, error) {
+	nw, tr, err := instanceWith(c.params, c.seed, placement, fc)
 	if err != nil {
-		return cellOutcome{err: fmt.Errorf("%s: %w", phaseConstruct, err)}
+		return 0, engine.ConstructErr(err)
 	}
 	v, err := safeEval(eval, nw, tr)
 	if err != nil {
-		return cellOutcome{err: fmt.Errorf("%s: %w", phaseEvaluate, err)}
+		return 0, engine.EvaluateErr(err)
 	}
-	return cellOutcome{v: v}
+	return v, nil
 }
 
 // sweepLambda runs eval over the sizes x seeds grid for the parameter
-// family and returns the mean-lambda series. The grid cells are
-// embarrassingly parallel: they fan out to a bounded pool of
-// o.Workers goroutines and are merged back in grid order, so the
-// series is byte-identical to a serial run for every worker count.
+// family and returns the mean-lambda series. The grid cells fan out
+// through the engine's bounded pool and merge back in grid order, so
+// the series is byte-identical to a serial run for every worker count.
 // Failing seeds (errors or panics) are tolerated: the point aggregates
 // the surviving seeds and records its coverage in the series'
 // OK/Attempts counters. Only a point losing every seed aborts the
 // sweep, reporting the point's first failure by seed order.
 func sweepLambda(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, eval evalFn) (*measure.Series, error) {
+	return sweepLambdaWith(o, name, sizes, base, placement, nil, eval)
+}
+
+// sweepLambdaWith is sweepLambda with an optional fault plan installed
+// into every instance of the grid (the declarative scenario path).
+func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, fc *faults.Config, eval evalFn) (*measure.Series, error) {
 	seeds := o.seeds()
 	src := rng.New(0xE).Derive("sweep").Derive(name)
 	cells := make([]sweepCell, 0, len(sizes)*seeds)
-	for i, n := range sizes {
+	for _, n := range sizes {
 		p := base.WithN(n)
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("experiments: %s at n=%d: %w", name, n, err)
 		}
 		nsrc := src.DeriveN("n", n)
 		for s := 0; s < seeds; s++ {
-			cells = append(cells, sweepCell{
-				sizeIdx: i,
-				seedIdx: s,
-				params:  p,
-				seed:    nsrc.DeriveN("seed", s).Uint64(),
-			})
+			cells = append(cells, sweepCell{params: p, seed: nsrc.DeriveN("seed", s).Uint64()})
 		}
 	}
 
-	outcomes := make([]cellOutcome, len(cells))
-	forEachIndex(o.workers(), len(cells), func(i int) {
-		outcomes[i] = runCell(cells[i], placement, eval)
-	})
+	outs := engine.Run(engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()},
+		func(point, seed int) (float64, error) {
+			return runCell(cells[point*seeds+seed], placement, fc, eval)
+		})
 
 	series := &measure.Series{Name: name}
 	for i, n := range sizes {
-		sum := 0.0
-		ok := 0
-		var firstErr error
-		for s := 0; s < seeds; s++ {
-			out := outcomes[i*seeds+s]
-			if out.err == nil {
-				sum += out.v
-				ok++
-				continue
-			}
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, s, out.err)
-			}
-		}
+		mean, ok, firstErr, firstSeed := engine.Mean(outs[i])
 		if ok == 0 {
-			return nil, fmt.Errorf("experiments: %s at n=%d: all %d seeds failed: %w", name, n, seeds, firstErr)
+			wrapped := fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, firstSeed, firstErr)
+			return nil, fmt.Errorf("experiments: %s at n=%d: all %d seeds failed: %w", name, n, seeds, wrapped)
 		}
-		series.AddCounted(float64(n), sum/float64(ok), ok, seeds)
+		series.AddCounted(float64(n), mean, ok, seeds)
 	}
 	return series, nil
+}
+
+// sweepScenario runs a declarative scenario's lambda sweep over the
+// resolved size grid: the scenario's name salts the seed derivation,
+// its scheme set scores each instance, and its optional fault plan is
+// installed into every cell.
+func sweepScenario(o Options, sc *scenario.Scenario, sizes []int) (*measure.Series, error) {
+	placement, err := sc.PlacementScheme()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", sc.Name, err)
+	}
+	return sweepLambdaWith(o, sc.Name, sizes, sc.Base.Params(0), placement, sc.FaultConfig(), scenarioEval(sc.Schemes))
 }

@@ -42,6 +42,22 @@ func (b BSPlacement) String() string {
 	}
 }
 
+// ParsePlacement resolves a placement name ("matched", "uniform",
+// "grid") to its BSPlacement. The empty string selects Matched, the
+// paper's default, mirroring Config's zero value.
+func ParsePlacement(name string) (BSPlacement, error) {
+	switch name {
+	case "", "matched":
+		return Matched, nil
+	case "uniform":
+		return Uniform, nil
+	case "grid":
+		return Grid, nil
+	default:
+		return 0, fmt.Errorf("network: unknown BS placement %q (want matched, uniform, or grid)", name)
+	}
+}
+
 // MobilityKind selects the mobility process implementation.
 type MobilityKind int
 

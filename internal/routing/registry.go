@@ -1,0 +1,61 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"hybridcap/internal/scaling"
+)
+
+// Scheme names accepted by ByName, in presentation order. These are the
+// identifiers used by capsim's -scheme flag and by declarative scenario
+// files, so they are part of the repository's stable surface.
+const (
+	NameSchemeA        = "schemeA"
+	NameSchemeB        = "schemeB"
+	NameSchemeBCluster = "schemeBcluster"
+	NameSchemeC        = "schemeC"
+	NameGridMultihop   = "gridMultihop"
+	NameTwoHop         = "twoHop"
+)
+
+// Names lists every scheme name ByName accepts.
+func Names() []string {
+	return []string{
+		NameSchemeA, NameSchemeB, NameSchemeBCluster,
+		NameSchemeC, NameGridMultihop, NameTwoHop,
+	}
+}
+
+// KnownScheme reports whether name resolves with ByName.
+func KnownScheme(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ByName constructs the named scheme for a parameter point. The point
+// matters only for gridMultihop, whose cell side is the weak-regime
+// critical range sqrt(gamma(n)); every other scheme is
+// parameter-independent.
+func ByName(name string, p scaling.Params) (Scheme, error) {
+	switch name {
+	case NameSchemeA:
+		return SchemeA{}, nil
+	case NameSchemeB:
+		return SchemeB{}, nil
+	case NameSchemeBCluster:
+		return SchemeB{GroupBy: ByCluster}, nil
+	case NameSchemeC:
+		return SchemeC{Delta: -1}, nil
+	case NameGridMultihop:
+		return GridMultihop{Side: math.Sqrt(p.Gamma()), Delta: -1}, nil
+	case NameTwoHop:
+		return TwoHopRelay{}, nil
+	default:
+		return nil, fmt.Errorf("routing: unknown scheme %q (want one of %v)", name, Names())
+	}
+}

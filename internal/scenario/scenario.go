@@ -1,0 +1,223 @@
+// Package scenario turns experiments into data: a Scenario is a
+// declarative description of one operating regime of the paper's
+// parameter space — base scaling exponents, the (size, seed) grid to
+// sweep, the communication schemes to evaluate, BS placement, an
+// optional fault plan, and the measurement requests — that the grid
+// engine can execute without any bespoke Go loop. New regimes are a
+// JSON file, not a recompile: `capsim -scenario file.json` loads,
+// validates and runs one.
+//
+// The JSON encoding is deterministic: a Scenario is a fixed tree of
+// structs and slices (no maps), so Marshal -> Parse -> Marshal is
+// byte-identical, and scenario files can be diffed and golden-tested.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hybridcap/internal/faults"
+	"hybridcap/internal/network"
+	"hybridcap/internal/routing"
+	"hybridcap/internal/scaling"
+)
+
+// Exponents are the scaling exponents (alpha, K, phi, M, R) of the
+// paper's parameter space, without the concrete network size: the
+// scenario's size grid supplies n.
+type Exponents struct {
+	// Alpha sets the network extension f(n) = n^alpha.
+	Alpha float64 `json:"alpha"`
+	// K sets the BS count k = n^K; negative means no infrastructure.
+	K float64 `json:"k"`
+	// Phi sets the aggregate per-BS backbone bandwidth n^phi.
+	Phi float64 `json:"phi"`
+	// M sets the home-point cluster count m = n^M.
+	M float64 `json:"m"`
+	// R sets the cluster radius n^-R.
+	R float64 `json:"r"`
+}
+
+// Params instantiates the exponents at a concrete network size.
+func (e Exponents) Params(n int) scaling.Params {
+	return scaling.Params{N: n, Alpha: e.Alpha, K: e.K, Phi: e.Phi, M: e.M, R: e.R}
+}
+
+// FaultSpec mirrors faults.Config with stable JSON names, so scenario
+// files can declare infrastructure outages next to the regime they
+// stress.
+type FaultSpec struct {
+	Seed            uint64  `json:"seed,omitempty"`
+	BSOutage        float64 `json:"bs_outage,omitempty"`
+	BSOutageCount   int     `json:"bs_outage_count,omitempty"`
+	EdgeOutage      float64 `json:"edge_outage,omitempty"`
+	EdgeDerating    float64 `json:"edge_derating,omitempty"`
+	WirelessErasure float64 `json:"erasure,omitempty"`
+}
+
+// Config converts the spec to a faults.Config.
+func (f FaultSpec) Config() faults.Config {
+	return faults.Config{
+		Seed:               f.Seed,
+		BSOutageFraction:   f.BSOutage,
+		BSOutageCount:      f.BSOutageCount,
+		EdgeOutageFraction: f.EdgeOutage,
+		EdgeDerating:       f.EdgeDerating,
+		WirelessErasure:    f.WirelessErasure,
+	}
+}
+
+// Scenario is one declarative experiment: a parameter regime plus the
+// grid, schemes and measurements that evaluate it.
+type Scenario struct {
+	// Name identifies the scenario; it also salts the sweep's seed
+	// derivation, so renaming a scenario resamples its instances.
+	Name string `json:"name"`
+	// Description says what the scenario demonstrates.
+	Description string `json:"description,omitempty"`
+	// Base holds the scaling exponents shared by every grid point.
+	Base Exponents `json:"base"`
+	// Sizes is the sweep of network sizes n.
+	Sizes []int `json:"sizes"`
+	// QuickSizes, if set, replaces Sizes under quick options (smoke
+	// runs and unit tests).
+	QuickSizes []int `json:"quick_sizes,omitempty"`
+	// Seeds is the number of random seeds averaged per point; zero
+	// defers to the executing options' default.
+	Seeds int `json:"seeds,omitempty"`
+	// Schemes names the communication schemes to evaluate; the point
+	// scores the best of them (capacity is achieved by the best
+	// scheme). Names are routing.Names().
+	Schemes []string `json:"schemes"`
+	// Placement selects BS deployment: "matched" (default), "uniform",
+	// or "grid".
+	Placement string `json:"placement,omitempty"`
+	// Faults optionally injects a deterministic fault plan into every
+	// instance of the sweep.
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// Fit requests a power-law fit of the measured lambda series, for
+	// comparison against the regime's theoretical capacity order.
+	Fit bool `json:"fit,omitempty"`
+}
+
+// SizesFor selects the scenario's size grid: QuickSizes under quick
+// mode when present, Sizes otherwise.
+func (s *Scenario) SizesFor(quick bool) []int {
+	if quick && len(s.QuickSizes) > 0 {
+		return s.QuickSizes
+	}
+	return s.Sizes
+}
+
+// PlacementScheme resolves the declared BS placement.
+func (s *Scenario) PlacementScheme() (network.BSPlacement, error) {
+	return network.ParsePlacement(s.Placement)
+}
+
+// FaultConfig returns the declared fault plan config, or nil.
+func (s *Scenario) FaultConfig() *faults.Config {
+	if s.Faults == nil {
+		return nil
+	}
+	cfg := s.Faults.Config()
+	return &cfg
+}
+
+// Validate checks the scenario against the paper's model: the grid must
+// be well-formed, every scheme and the placement must resolve, the
+// fault plan must be in range, and every size must instantiate a valid
+// parameter point (scaling.Params.Validate, so out-of-model regimes
+// surface the scaling sentinel errors like scaling.ErrOverlap).
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("scenario %s: sizes are required", s.Name)
+	}
+	if err := validSizes(s.Name, "sizes", s.Sizes); err != nil {
+		return err
+	}
+	if err := validSizes(s.Name, "quick_sizes", s.QuickSizes); err != nil {
+		return err
+	}
+	if s.Seeds < 0 {
+		return fmt.Errorf("scenario %s: negative seeds %d", s.Name, s.Seeds)
+	}
+	if len(s.Schemes) == 0 {
+		return fmt.Errorf("scenario %s: at least one scheme is required", s.Name)
+	}
+	for _, name := range s.Schemes {
+		if !routing.KnownScheme(name) {
+			return fmt.Errorf("scenario %s: unknown scheme %q (want one of %v)", s.Name, name, routing.Names())
+		}
+	}
+	if _, err := s.PlacementScheme(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Config().Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	for _, n := range append(append([]int(nil), s.Sizes...), s.QuickSizes...) {
+		if err := s.Base.Params(n).Validate(); err != nil {
+			return fmt.Errorf("scenario %s: at n=%d: %w", s.Name, n, err)
+		}
+	}
+	return nil
+}
+
+func validSizes(name, field string, sizes []int) error {
+	for i, n := range sizes {
+		if n < 2 {
+			return fmt.Errorf("scenario %s: %s[%d] = %d below the minimum network size 2", name, field, i, n)
+		}
+		if i > 0 && n <= sizes[i-1] {
+			return fmt.Errorf("scenario %s: %s must be strictly increasing (got %d after %d)", name, field, n, sizes[i-1])
+		}
+	}
+	return nil
+}
+
+// Marshal renders the scenario as canonical indented JSON with a
+// trailing newline. The output is deterministic: re-marshalling a
+// parsed scenario reproduces the input byte for byte.
+func (s *Scenario) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Parse decodes and validates a scenario. Unknown fields are rejected,
+// so a typoed knob fails loudly instead of silently running the
+// default.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	s := &Scenario{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -20,8 +20,8 @@ import (
 	"hybridcap/internal/experiments"
 	"hybridcap/internal/geom"
 	"hybridcap/internal/linkcap"
-	"hybridcap/internal/mobility"
 	"hybridcap/internal/network"
+	"hybridcap/internal/obs"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/routing"
 	"hybridcap/internal/scaling"
@@ -63,89 +63,23 @@ func BenchmarkTable1(b *testing.B) {
 	recordSweepTrajectory(b)
 }
 
-// countCells sums the evaluation attempts behind every series point:
-// the number of (size, seed) grid cells the sweep engine scheduled.
-func countCells(res *experiments.Result) int {
-	cells := 0
-	for _, s := range res.Series {
-		for _, a := range s.Attempts {
-			cells += a
-		}
-	}
-	return cells
-}
-
-// sameResults compares two experiment results exactly; the parallel
-// engine promises byte-identical output for every worker count.
-func sameResults(a, b *experiments.Result) bool {
-	if len(a.Series) != len(b.Series) || len(a.Rows) != len(b.Rows) {
-		return false
-	}
-	for i := range a.Rows {
-		if a.Rows[i] != b.Rows[i] {
-			return false
-		}
-	}
-	for i := range a.Series {
-		sa, sb := a.Series[i], b.Series[i]
-		if sa.Name != sb.Name || sa.Len() != sb.Len() {
-			return false
-		}
-		for j := 0; j < sa.Len(); j++ {
-			if sa.X[j] != sb.X[j] || sa.Y[j] != sb.Y[j] ||
-				sa.OK[j] != sb.OK[j] || sa.Attempts[j] != sb.Attempts[j] {
-				return false
-			}
-		}
-	}
-	return true
-}
-
 // recordSweepTrajectory measures the serial-vs-parallel wall time of
-// the Table-I sweep and writes the record to BENCH_sweep.json. Seeds=4
-// gives each size several equal-cost cells, so a multi-core runner has
-// parallelism to exploit at the largest (dominant) size.
+// the Table-I sweep through benchio.Collect and writes the record to
+// BENCH_sweep.json. Seeds=4 gives each size several equal-cost cells,
+// so a multi-core runner has parallelism to exploit at the largest
+// (dominant) size.
 func recordSweepTrajectory(b *testing.B) {
 	b.Helper()
-	opts := experiments.Options{Quick: true, Seeds: 4, Workers: 1}
-	t0 := time.Now()
-	serialRes, err := hybridcap.RunExperiment("T1", opts)
+	rec, err := benchio.Collect(benchio.CollectConfig{
+		Name:       "BenchmarkTable1",
+		Experiment: "T1",
+		Workers:    runtime.NumCPU(),
+		Clock:      obs.ClockFunc(time.Now),
+	}, func(workers int) (*experiments.Result, error) {
+		return hybridcap.RunExperiment("T1", experiments.Options{Quick: true, Seeds: 4, Workers: workers})
+	})
 	if err != nil {
 		b.Fatal(err)
-	}
-	serial := time.Since(t0)
-
-	opts.Workers = runtime.NumCPU()
-	statsBefore := mobility.ReadCacheStats()
-	t0 = time.Now()
-	parRes, err := hybridcap.RunExperiment("T1", opts)
-	if err != nil {
-		b.Fatal(err)
-	}
-	wall := time.Since(t0)
-	statsAfter := mobility.ReadCacheStats()
-
-	if !sameResults(serialRes, parRes) {
-		b.Fatal("serial and parallel Table-I results drifted")
-	}
-
-	cells := countCells(parRes)
-	rec := benchio.Record{
-		Name:          "BenchmarkTable1",
-		Experiment:    "T1",
-		Workers:       opts.Workers,
-		Cells:         cells,
-		WallSeconds:   wall.Seconds(),
-		CellsPerSec:   float64(cells) / wall.Seconds(),
-		SerialSeconds: serial.Seconds(),
-		Speedup:       serial.Seconds() / wall.Seconds(),
-		Fits:          map[string]float64{},
-		CacheHits:     statsAfter.Hits - statsBefore.Hits,
-		CacheMisses:   statsAfter.Misses - statsBefore.Misses,
-		UpdatedAt:     time.Now().UTC().Format(time.RFC3339),
-	}
-	for name, fit := range parRes.Fits {
-		rec.Fits[name] = fit.Exponent
 	}
 	if err := benchio.Upsert(benchio.DefaultPath, rec); err != nil {
 		b.Fatal(err)

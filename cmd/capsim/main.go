@@ -26,23 +26,35 @@
 //
 //	capsim -bench                 # all cores
 //	capsim -bench -workers 4      # bounded pool
+//
+// Observability: -metrics-out dumps the run's metrics registry
+// (Prometheus text format) and -trace-out its span tree (JSON);
+// -frozen-clock pins every timestamp to a fixed epoch so both files are
+// byte-identical across runs and worker counts. -serve-metrics ADDR
+// serves the live registry (/metrics, /debug/vars) and -pprof ADDR the
+// standard profiler while a long sweep runs:
+//
+//	capsim -scenario examples/scenarios/strong-mobility.json -quick \
+//	    -frozen-clock -metrics-out out/metrics.txt -trace-out out/trace.json
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"runtime"
 	"strings"
-	"time"
 
 	"hybridcap/internal/benchio"
 	"hybridcap/internal/capacity"
 	"hybridcap/internal/cli"
 	"hybridcap/internal/experiments"
 	"hybridcap/internal/faults"
-	"hybridcap/internal/mobility"
 	"hybridcap/internal/network"
+	"hybridcap/internal/obs"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/routing"
 	"hybridcap/internal/scaling"
@@ -78,15 +90,18 @@ func run() error {
 		benchOut    = flag.String("bench-out", benchio.DefaultPath, "benchmark trajectory JSON path (with -bench)")
 		benchSeeds  = flag.Int("bench-seeds", 4, "seeds per grid point for -bench")
 		benchQuick  = flag.Bool("bench-quick", true, "with -bench: small sweep sizes (seconds, not minutes)")
+		serveAddr   = flag.String("serve-metrics", "", "serve the live metrics registry on this address (/metrics Prometheus text, /debug/vars expvar) while running")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while running")
 	)
 	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
 
+	serveDebug(*serveAddr, *pprofAddr)
 	if *scenarioArg != "" {
 		return runScenarioFile(*scenarioArg, common)
 	}
 	if *bench {
-		return runBench(common.Workers, *benchSeeds, *benchQuick, *benchOut)
+		return runBench(common.Workers, *benchSeeds, *benchQuick, *benchOut, common.Clock())
 	}
 
 	p := scaling.Params{N: *n, Alpha: *alpha, K: *kExp, Phi: *phi, M: *mExp, R: *rExp}
@@ -174,66 +189,31 @@ func run() error {
 }
 
 // runBench runs the benchmark trajectory: the Table-I sweep timed at
-// Workers=1 and at the requested pool size, checked for identical
-// results, with the headline numbers printed and upserted into the
-// trajectory file.
-func runBench(workers, seeds int, quick bool, outPath string) error {
+// Workers=1 and at the requested pool size through benchio.Collect
+// (which also checks the two runs for identical results), with the
+// headline numbers printed and upserted into the trajectory file. The
+// clock is injected from main, the only layer allowed to touch the
+// wall clock.
+func runBench(workers, seeds int, quick bool, outPath string, clock obs.Clock) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	opts := experiments.Options{Quick: quick, Seeds: seeds, Workers: 1}
 	fmt.Printf("benchmark trajectory: T1 sweep, %d seeds/point, quick=%v\n", seeds, quick)
-
-	t0 := time.Now()
-	serialRes, err := experiments.Table1(opts)
+	rec, err := benchio.Collect(benchio.CollectConfig{
+		Name:       "capsim-bench-T1",
+		Experiment: "T1",
+		Workers:    workers,
+		Clock:      clock,
+	}, func(w int) (*experiments.Result, error) {
+		return experiments.Table1(experiments.Options{Quick: quick, Seeds: seeds, Workers: w})
+	})
 	if err != nil {
 		return err
 	}
-	serial := time.Since(t0)
-	fmt.Printf("workers=1:  %8.3fs\n", serial.Seconds())
-
-	opts.Workers = workers
-	statsBefore := mobility.ReadCacheStats()
-	t0 = time.Now()
-	parRes, err := experiments.Table1(opts)
-	if err != nil {
-		return err
-	}
-	wall := time.Since(t0)
-	statsAfter := mobility.ReadCacheStats()
-
-	cells := 0
-	for i, s := range parRes.Series {
-		ref := serialRes.Series[i]
-		for j := 0; j < s.Len(); j++ {
-			cells += s.Attempts[j]
-			if s.X[j] != ref.X[j] || s.Y[j] != ref.Y[j] {
-				return fmt.Errorf("serial and parallel results drifted at series %q point %d", s.Name, j)
-			}
-		}
-	}
-	speedup := serial.Seconds() / wall.Seconds()
+	fmt.Printf("workers=1:  %8.3fs\n", rec.SerialSeconds)
 	fmt.Printf("workers=%d: %8.3fs  (%d cells, %.1f cells/s, speedup %.2fx, cache %d hits / %d misses)\n",
-		workers, wall.Seconds(), cells, float64(cells)/wall.Seconds(), speedup,
-		statsAfter.Hits-statsBefore.Hits, statsAfter.Misses-statsBefore.Misses)
-
-	rec := benchio.Record{
-		Name:          "capsim-bench-T1",
-		Experiment:    "T1",
-		Workers:       workers,
-		Cells:         cells,
-		WallSeconds:   wall.Seconds(),
-		CellsPerSec:   float64(cells) / wall.Seconds(),
-		SerialSeconds: serial.Seconds(),
-		Speedup:       speedup,
-		Fits:          map[string]float64{},
-		CacheHits:     statsAfter.Hits - statsBefore.Hits,
-		CacheMisses:   statsAfter.Misses - statsBefore.Misses,
-		UpdatedAt:     time.Now().UTC().Format(time.RFC3339),
-	}
-	for name, fit := range parRes.Fits {
-		rec.Fits[name] = fit.Exponent
-	}
+		workers, rec.WallSeconds, rec.Cells, rec.CellsPerSec, rec.Speedup,
+		rec.CacheHits, rec.CacheMisses)
 	if err := benchio.Upsert(outPath, rec); err != nil {
 		return err
 	}
@@ -296,14 +276,44 @@ func selectSchemes(name string, p scaling.Params) ([]routing.Scheme, error) {
 	return []routing.Scheme{s}, nil
 }
 
+// serveDebug starts the optional debug endpoints: the live metrics
+// registry (Prometheus text plus the expvar bridge) and net/http/pprof.
+// The listeners run for the life of the process; a failed listen
+// surfaces only on the served pages, not as a run failure.
+func serveDebug(metricsAddr, pprofAddr string) {
+	if metricsAddr != "" {
+		obs.PublishExpvar("hybridcap", obs.Default())
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default().Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			// Best-effort debug endpoint: a dead listener must not take
+			// down the run it observes.
+			_ = http.ListenAndServe(metricsAddr, mux)
+		}()
+	}
+	if pprofAddr != "" {
+		go func() {
+			// The pprof import registered its handlers on the default
+			// mux; same best-effort contract as the metrics listener.
+			_ = http.ListenAndServe(pprofAddr, nil)
+		}()
+	}
+}
+
 // runScenarioFile loads a declarative scenario file, executes it
-// through the grid engine and writes the report artifacts.
+// through the grid engine under the observability runtime selected by
+// the shared flags, and writes the report artifacts (including the run
+// manifest) plus any requested -metrics-out/-trace-out dumps.
 func runScenarioFile(path string, c *cli.Common) error {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return err
 	}
-	res, err := experiments.RunScenario(sc, c.Options())
+	rt := c.Runtime()
+	o := c.Options()
+	o.Obs = rt
+	res, err := experiments.RunScenario(sc, o)
 	if err != nil {
 		return err
 	}
@@ -312,7 +322,7 @@ func runScenarioFile(path string, c *cli.Common) error {
 		if err := res.WriteFiles(c.Out); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s/%s.{txt,csv}\n", c.Out, res.ID)
+		fmt.Printf("\nwrote %s/%s.{txt,csv,manifest.json}\n", c.Out, res.ID)
 	}
-	return nil
+	return c.WriteObs(rt)
 }

@@ -28,7 +28,9 @@ func run() error {
 	ids := flag.String("run", "F1,F2,F3L,F3R", "comma-separated experiment ids, or 'all'")
 	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
+	rt := common.Runtime()
 	opts := common.Options()
+	opts.Obs = rt
 
 	var selected []string
 	if *ids == "all" {
@@ -55,5 +57,5 @@ func run() error {
 		}
 		fmt.Printf("wrote %s/%s.{txt,csv}\n\n", common.Out, id)
 	}
-	return nil
+	return common.WriteObs(rt)
 }

@@ -27,7 +27,10 @@ func main() {
 func run() error {
 	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
-	res, err := experiments.Table1(common.Options())
+	rt := common.Runtime()
+	opts := common.Options()
+	opts.Obs = rt
+	res, err := experiments.Table1(opts)
 	if err != nil {
 		return err
 	}
@@ -36,5 +39,5 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nwrote %s/T1.{txt,csv}\n", common.Out)
-	return nil
+	return common.WriteObs(rt)
 }

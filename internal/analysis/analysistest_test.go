@@ -107,6 +107,25 @@ func TestAnalyzersOnTestdata(t *testing.T) {
 	}
 }
 
+// TestObsClockDiscipline checks the nondeterminism analyzer against the
+// obsclock testdata package: raw wall-clock reads in observability-layer
+// code are flagged, while timing taken through an injected obs.Clock
+// stays clean — the contract that makes internal/obs metric dumps and
+// span trees byte-reproducible.
+func TestObsClockDiscipline(t *testing.T) {
+	if !InScope(NondeterminismAnalyzer.Name, "hybridcap/internal/obs") {
+		t.Fatal("internal/obs must be in nondeterminism scope")
+	}
+	pkgs, err := Load(".", "./testdata/src/obsclock")
+	if err != nil {
+		t.Fatalf("Load obsclock testdata: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	runTestdata(t, NondeterminismAnalyzer, pkgs[0])
+}
+
 // TestTestdataHasExpectations guards against silently-empty testdata: a
 // passing run must mean every analyzer demonstrably fired.
 func TestTestdataHasExpectations(t *testing.T) {

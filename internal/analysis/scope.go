@@ -19,6 +19,10 @@ var deterministicPkgs = map[string]bool{
 	"capacity":    true,
 	"engine":      true,
 	"scenario":    true,
+	// obs is the observability layer: it renders metric dumps and span
+	// trees that must be byte-reproducible, so every timestamp has to
+	// flow through an injected Clock rather than a wall-clock read.
+	"obs": true,
 }
 
 // floatEqPkgs are the packages computing order-notation quantities

@@ -1,0 +1,51 @@
+// Package obsclock proves the nondeterminism gate extends to the
+// observability layer: raw wall-clock reads — the kind that would make
+// metric dumps and span trees differ run to run — are flagged, while
+// the same timing taken through an injected obs.Clock is clean. The
+// package mirrors how internal/obs consumers are expected to look.
+package obsclock
+
+import (
+	"time"
+
+	"hybridcap/internal/obs"
+)
+
+// badSpanStart stamps a span with the ambient wall clock.
+func badSpanStart() time.Time {
+	return time.Now() // want "wall-clock read"
+}
+
+// badCellTiming measures a cell with the ambient wall clock.
+func badCellTiming(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read"
+}
+
+// badDeadline reads the ambient clock through time.Until.
+func badDeadline(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wall-clock read"
+}
+
+// goodInjected times an operation through the injected clock: the only
+// wall clock the observability layer may see is one a command handed
+// in, so this is clean.
+func goodInjected(clock obs.Clock, work func()) time.Duration {
+	t0 := clock.Now()
+	work()
+	return clock.Now().Sub(t0)
+}
+
+// goodFrozen builds a byte-reproducible span tree from a frozen clock.
+func goodFrozen() int64 {
+	sp := obs.NewSpan(obs.NewFrozenClock(obs.Epoch), "phase")
+	sp.End()
+	return sp.Duration().Nanoseconds()
+}
+
+// goodStepped drives a span tree from a stepping test clock.
+func goodStepped() time.Duration {
+	clock := obs.NewStepClock(obs.Epoch, time.Second)
+	sp := obs.NewSpan(clock, "phase")
+	sp.End()
+	return sp.Duration()
+}

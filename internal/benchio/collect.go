@@ -1,0 +1,138 @@
+package benchio
+
+import (
+	"fmt"
+	"time"
+
+	"hybridcap/internal/experiments"
+	"hybridcap/internal/mobility"
+	"hybridcap/internal/obs"
+)
+
+// CollectConfig parameterizes one trajectory measurement.
+type CollectConfig struct {
+	// Name identifies the record in the trajectory file.
+	Name string
+	// Experiment is the registered experiment id the workload runs.
+	Experiment string
+	// Workers is the pool size of the parallel run; <= 0 is an error
+	// (the caller resolves its own default).
+	Workers int
+	// Clock times the runs and stamps UpdatedAt. It is injected so this
+	// package never reads the wall clock itself; nil freezes time at
+	// obs.Epoch, which yields zero wall times and omits the rate and
+	// speedup fields rather than emitting +Inf.
+	Clock obs.Clock
+	// Span, if set, receives one recorded child per timed run, so a
+	// traced benchmark shows up in the trace alongside the sweep spans.
+	Span *obs.Span
+}
+
+// Collect measures the serial-vs-parallel trajectory of a workload: it
+// runs the workload once at Workers=1 and once at cfg.Workers, timing
+// both with the injected clock and snapshotting the kernel-cache
+// counters around the parallel run, verifies the two runs produced
+// identical results (the engine's byte-identity promise), and assembles
+// the benchmark record. This is the one implementation behind both the
+// BenchmarkTable1 trajectory and `capsim -bench`.
+func Collect(cfg CollectConfig, run func(workers int) (*experiments.Result, error)) (Record, error) {
+	if cfg.Workers <= 0 {
+		return Record{}, fmt.Errorf("benchio: collect %s: workers %d <= 0", cfg.Name, cfg.Workers)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obs.NewFrozenClock(obs.Epoch)
+	}
+
+	t0 := clock.Now()
+	serialRes, err := run(1)
+	if err != nil {
+		return Record{}, fmt.Errorf("benchio: collect %s serial: %w", cfg.Name, err)
+	}
+	serial := clock.Now().Sub(t0)
+
+	statsBefore := mobility.ReadCacheStats()
+	t0 = clock.Now()
+	parRes, err := run(cfg.Workers)
+	if err != nil {
+		return Record{}, fmt.Errorf("benchio: collect %s workers=%d: %w", cfg.Name, cfg.Workers, err)
+	}
+	wall := clock.Now().Sub(t0)
+	statsAfter := mobility.ReadCacheStats()
+
+	if cfg.Span != nil {
+		cfg.Span.Record("serial", serial)
+		cfg.Span.Record(fmt.Sprintf("parallel workers=%d", cfg.Workers), wall)
+	}
+	if err := SameResults(serialRes, parRes); err != nil {
+		return Record{}, fmt.Errorf("benchio: collect %s: %w", cfg.Name, err)
+	}
+
+	cells := CountCells(parRes)
+	rec := Record{
+		Name:          cfg.Name,
+		Experiment:    cfg.Experiment,
+		Workers:       cfg.Workers,
+		Cells:         cells,
+		WallSeconds:   wall.Seconds(),
+		SerialSeconds: serial.Seconds(),
+		Fits:          map[string]float64{},
+		CacheHits:     statsAfter.Hits - statsBefore.Hits,
+		CacheMisses:   statsAfter.Misses - statsBefore.Misses,
+		UpdatedAt:     clock.Now().UTC().Format(time.RFC3339),
+	}
+	// A frozen clock measures zero wall time; leave the derived rates at
+	// zero instead of dividing into +Inf (which JSON cannot encode).
+	if wall > 0 {
+		rec.CellsPerSec = float64(cells) / wall.Seconds()
+		rec.Speedup = serial.Seconds() / wall.Seconds()
+	}
+	for name, fit := range parRes.Fits {
+		rec.Fits[name] = fit.Exponent
+	}
+	return rec, nil
+}
+
+// CountCells sums the evaluation attempts behind every series point:
+// the number of (size, seed) grid cells the sweep engine scheduled.
+func CountCells(res *experiments.Result) int {
+	cells := 0
+	for _, s := range res.Series {
+		for _, a := range s.Attempts {
+			cells += a
+		}
+	}
+	return cells
+}
+
+// SameResults compares two experiment results exactly — series data,
+// coverage counters and report rows — and describes the first drift.
+// The parallel engine promises byte-identical output for every worker
+// count, so any difference is a bug.
+func SameResults(a, b *experiments.Result) error {
+	if len(a.Series) != len(b.Series) {
+		return fmt.Errorf("results drifted: %d vs %d series", len(a.Series), len(b.Series))
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("results drifted: %d vs %d rows", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			return fmt.Errorf("results drifted at row %d: %q vs %q", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	for i := range a.Series {
+		sa, sb := a.Series[i], b.Series[i]
+		if sa.Name != sb.Name || sa.Len() != sb.Len() {
+			return fmt.Errorf("results drifted at series %d: %q (%d pts) vs %q (%d pts)",
+				i, sa.Name, sa.Len(), sb.Name, sb.Len())
+		}
+		for j := 0; j < sa.Len(); j++ {
+			if sa.X[j] != sb.X[j] || sa.Y[j] != sb.Y[j] ||
+				sa.OK[j] != sb.OK[j] || sa.Attempts[j] != sb.Attempts[j] {
+				return fmt.Errorf("results drifted at series %q point %d", sa.Name, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package benchio
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hybridcap/internal/experiments"
+	"hybridcap/internal/measure"
+	"hybridcap/internal/obs"
+)
+
+func fakeResult(lambda float64) *experiments.Result {
+	s := &measure.Series{Name: "sweep"}
+	s.AddCounted(512, lambda, 3, 4)
+	s.AddCounted(1024, lambda/2, 4, 4)
+	return &experiments.Result{
+		ID:     "T1",
+		Series: []*measure.Series{s},
+		Rows:   []string{"row"},
+		Fits:   map[string]*measure.Fit{"sweep": {Exponent: -0.5}},
+	}
+}
+
+// Collect times both runs with the injected clock, records the spans,
+// verifies serial/parallel identity and assembles the record.
+func TestCollectSteppedClock(t *testing.T) {
+	clock := obs.NewStepClock(obs.Epoch, time.Second)
+	span := obs.NewSpan(clock, "bench")
+	var workerArgs []int
+	rec, err := Collect(CollectConfig{
+		Name: "bench-x", Experiment: "T1", Workers: 8, Clock: clock, Span: span,
+	}, func(workers int) (*experiments.Result, error) {
+		workerArgs = append(workerArgs, workers)
+		return fakeResult(2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workerArgs) != 2 || workerArgs[0] != 1 || workerArgs[1] != 8 {
+		t.Errorf("worker sequence %v, want [1 8]", workerArgs)
+	}
+	if rec.Name != "bench-x" || rec.Experiment != "T1" || rec.Workers != 8 {
+		t.Errorf("record header %+v", rec)
+	}
+	if rec.Cells != 8 {
+		t.Errorf("cells %d, want 8", rec.Cells)
+	}
+	// Each timed phase saw exactly one stepped second.
+	if rec.SerialSeconds != 1 || rec.WallSeconds != 1 || rec.Speedup != 1 || rec.CellsPerSec != 8 {
+		t.Errorf("timing %+v", rec)
+	}
+	if rec.Fits["sweep"] != -0.5 {
+		t.Errorf("fits %v", rec.Fits)
+	}
+	if rec.UpdatedAt == "" {
+		t.Error("UpdatedAt not stamped")
+	}
+	span.End()
+	tree := span.Tree()
+	if len(tree.Children) != 2 || tree.Children[0].Name != "serial" || tree.Children[1].Name != "parallel workers=8" {
+		t.Errorf("span children %+v", tree.Children)
+	}
+}
+
+// A frozen clock yields zero wall times; the derived rates must stay
+// zero (JSON cannot encode the +Inf a naive division produces) and the
+// record must still serialize.
+func TestCollectFrozenClockSerializes(t *testing.T) {
+	rec, err := Collect(CollectConfig{Name: "frozen", Workers: 2},
+		func(workers int) (*experiments.Result, error) { return fakeResult(1), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CellsPerSec != 0 || rec.Speedup != 0 {
+		t.Errorf("frozen-clock rates %+v", rec)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Upsert(path, rec); err != nil {
+		t.Fatalf("record does not serialize: %v", err)
+	}
+}
+
+// Serial/parallel drift must fail the collection.
+func TestCollectDetectsDrift(t *testing.T) {
+	calls := 0
+	_, err := Collect(CollectConfig{Name: "drift", Workers: 2},
+		func(workers int) (*experiments.Result, error) {
+			calls++
+			return fakeResult(float64(calls)), nil
+		})
+	if err == nil {
+		t.Fatal("drifting results accepted")
+	}
+}
+
+// Workers must be resolved by the caller; a missing pool size is an
+// error, not a silent serial run.
+func TestCollectRejectsZeroWorkers(t *testing.T) {
+	_, err := Collect(CollectConfig{Name: "w0"},
+		func(workers int) (*experiments.Result, error) { return fakeResult(1), nil })
+	if err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+}

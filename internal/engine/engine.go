@@ -19,7 +19,9 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Cell-failure phase tags: a failed cell's error says whether instance
@@ -34,6 +36,23 @@ func ConstructErr(err error) error { return fmt.Errorf("%s: %w", PhaseConstruct,
 
 // EvaluateErr tags err as an evaluation failure.
 func EvaluateErr(err error) error { return fmt.Errorf("%s: %w", PhaseEvaluate, err) }
+
+// Phase classifies a cell failure by its phase tag: PhaseConstruct,
+// PhaseEvaluate, or "" for a nil or untagged error. Observability
+// sinks use it to split failure tallies without unwrapping.
+func Phase(err error) string {
+	if err == nil {
+		return ""
+	}
+	msg := err.Error()
+	if strings.HasPrefix(msg, PhaseConstruct+":") {
+		return PhaseConstruct
+	}
+	if strings.HasPrefix(msg, PhaseEvaluate+":") {
+		return PhaseEvaluate
+	}
+	return ""
+}
 
 // ForEachIndex runs fn(0..n-1) on a bounded pool of workers goroutines
 // and returns when every call has finished. Each index is dispatched
@@ -108,6 +127,23 @@ func guard[T any](fn func() (T, error)) (v T, err error) {
 	return fn()
 }
 
+// Clock provides the engine's notion of time for per-cell timing. It
+// is injected (typically an obs.Clock) so the engine itself never reads
+// the wall clock; a frozen clock yields zero durations and keeps the
+// observed output byte-identical across runs and worker counts.
+type Clock interface {
+	Now() time.Time
+}
+
+// CellObserver receives every cell's outcome and measured duration. The
+// engine delivers observations in grid order after the whole grid has
+// been evaluated, never from worker goroutines, so an observer may feed
+// metrics registries, span trees or progress counters without
+// re-introducing scheduling into the observed output.
+type CellObserver interface {
+	ObserveCell(point, seed int, d time.Duration, err error)
+}
+
 // Grid describes a points x seeds evaluation grid.
 type Grid struct {
 	// Points and Seeds span the grid; every (point, seed) coordinate is
@@ -121,18 +157,40 @@ type Grid struct {
 	// may feed progress counters or benchmark metrics without
 	// re-introducing scheduling into the results.
 	OnCell func(point, seed int, err error)
+	// Obs, if set, receives every cell's outcome plus its duration in
+	// grid order after the run (the observability sink). Durations are
+	// measured with Clock around each cell evaluation; a nil Clock
+	// reports zero durations.
+	Obs CellObserver
+	// Clock times cells for Obs. It is only consulted when Obs is set.
+	Clock Clock
 }
 
 // Run evaluates cell over every grid coordinate and returns the
 // outcomes indexed [point][seed]. Results are byte-identical for every
 // worker count: cells only depend on their coordinates, and merging is
-// in grid order.
+// in grid order. OnCell hooks fire before Obs observations, both in
+// grid order.
 func Run[T any](g Grid, cell func(point, seed int) (T, error)) [][]Outcome[T] {
 	if g.Points <= 0 || g.Seeds <= 0 {
 		return nil
 	}
-	flat := Map(g.Workers, g.Points*g.Seeds, func(i int) (T, error) {
-		return cell(i/g.Seeds, i%g.Seeds)
+	n := g.Points * g.Seeds
+	var durations []time.Duration
+	timed := cell
+	if g.Obs != nil && g.Clock != nil {
+		// Each worker writes only its own cell's slot, so the timing
+		// needs no synchronization and cannot perturb the results.
+		durations = make([]time.Duration, n)
+		timed = func(point, seed int) (T, error) {
+			t0 := g.Clock.Now()
+			v, err := cell(point, seed)
+			durations[point*g.Seeds+seed] = g.Clock.Now().Sub(t0)
+			return v, err
+		}
+	}
+	flat := Map(g.Workers, n, func(i int) (T, error) {
+		return timed(i/g.Seeds, i%g.Seeds)
 	})
 	outs := make([][]Outcome[T], g.Points)
 	for p := range outs {
@@ -142,6 +200,17 @@ func Run[T any](g Grid, cell func(point, seed int) (T, error)) [][]Outcome[T] {
 		for p := 0; p < g.Points; p++ {
 			for s := 0; s < g.Seeds; s++ {
 				g.OnCell(p, s, outs[p][s].Err)
+			}
+		}
+	}
+	if g.Obs != nil {
+		for p := 0; p < g.Points; p++ {
+			for s := 0; s < g.Seeds; s++ {
+				var d time.Duration
+				if durations != nil {
+					d = durations[p*g.Seeds+s]
+				}
+				g.Obs.ObserveCell(p, s, d, outs[p][s].Err)
 			}
 		}
 	}

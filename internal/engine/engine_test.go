@@ -4,9 +4,24 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// fixedClock is a frozen test clock: constant instants make the timed
+// durations zero, so delivery streams compare exactly across workers.
+type fixedClock struct{}
+
+func (fixedClock) Now() time.Time { return time.Unix(0, 0) }
+
+// observerFunc adapts a function to CellObserver.
+type observerFunc func(point, seed int, d time.Duration, err error)
+
+func (f observerFunc) ObserveCell(point, seed int, d time.Duration, err error) {
+	f(point, seed, d, err)
+}
 
 // The pool must dispatch every index exactly once for any worker count,
 // including more workers than indices and the inline serial path.
@@ -99,6 +114,95 @@ func TestRunGridOrderAndHooks(t *testing.T) {
 	want := []string{"0/0:false", "0/1:false", "1/0:false", "1/1:true", "2/0:false", "2/1:false"}
 	if !reflect.DeepEqual(hookOrder, want) {
 		t.Errorf("hook order %v, want %v", hookOrder, want)
+	}
+}
+
+// Run must deliver OnCell hooks and Obs observations with identical
+// content and order for every worker count — including panicking and
+// phase-tagged failing cells — because metrics registries and span
+// recorders consume the delivery stream, not the outcome slice. All
+// hooks fire before any observation, both passes in grid order.
+func TestRunObserverParityAcrossWorkers(t *testing.T) {
+	const points, seeds = 4, 3
+	run := func(workers int) []string {
+		var events []string
+		g := Grid{Points: points, Seeds: seeds, Workers: workers, Clock: fixedClock{}}
+		g.OnCell = func(point, seed int, err error) {
+			events = append(events, fmt.Sprintf("hook %d/%d failed=%v", point, seed, err != nil))
+		}
+		g.Obs = observerFunc(func(point, seed int, d time.Duration, err error) {
+			events = append(events, fmt.Sprintf("obs %d/%d phase=%q d=%d", point, seed, Phase(err), d))
+		})
+		Run(g, func(point, seed int) (int, error) {
+			switch {
+			case point == 1 && seed == 0:
+				panic("boom")
+			case point == 0 && seed == 1:
+				return 0, ConstructErr(errors.New("no instance"))
+			case point == 2 && seed == 2:
+				return 0, EvaluateErr(errors.New("bad eval"))
+			}
+			return point*10 + seed, nil
+		})
+		return events
+	}
+
+	ref := run(1)
+	if len(ref) != 2*points*seeds {
+		t.Fatalf("serial run delivered %d events, want %d", len(ref), 2*points*seeds)
+	}
+	for i := 0; i < points*seeds; i++ {
+		p, s := i/seeds, i%seeds
+		if want := fmt.Sprintf("hook %d/%d ", p, s); !strings.HasPrefix(ref[i], want) {
+			t.Errorf("event %d = %q, want prefix %q", i, ref[i], want)
+		}
+		if want := fmt.Sprintf("obs %d/%d ", p, s); !strings.HasPrefix(ref[points*seeds+i], want) {
+			t.Errorf("event %d = %q, want prefix %q", points*seeds+i, ref[points*seeds+i], want)
+		}
+	}
+	if want := `obs 0/1 phase="construct instance" d=0`; ref[points*seeds+1] != want {
+		t.Errorf("construct-failed observation %q, want %q", ref[points*seeds+1], want)
+	}
+	if want := `obs 1/0 phase="" d=0`; ref[points*seeds+3] != want {
+		t.Errorf("panicked-cell observation %q, want %q", ref[points*seeds+3], want)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: delivery stream differs from serial:\n%v\nvs\n%v", workers, got, ref)
+		}
+	}
+}
+
+// Without a Clock the engine still observes cells, reporting zero
+// durations rather than consulting any ambient clock.
+func TestRunObserverWithoutClock(t *testing.T) {
+	var n int
+	g := Grid{Points: 2, Seeds: 2, Workers: 4}
+	g.Obs = observerFunc(func(point, seed int, d time.Duration, err error) {
+		n++
+		if d != 0 {
+			t.Errorf("cell %d/%d reported duration %v without a clock", point, seed, d)
+		}
+	})
+	Run(g, func(point, seed int) (int, error) { return 0, nil })
+	if n != 4 {
+		t.Errorf("observed %d cells, want 4", n)
+	}
+}
+
+// Phase classifies tagged failures and leaves everything else blank.
+func TestPhaseClassifier(t *testing.T) {
+	if got := Phase(nil); got != "" {
+		t.Errorf("Phase(nil) = %q", got)
+	}
+	if got := Phase(ConstructErr(errors.New("x"))); got != PhaseConstruct {
+		t.Errorf("construct tag classified as %q", got)
+	}
+	if got := Phase(EvaluateErr(errors.New("x"))); got != PhaseEvaluate {
+		t.Errorf("evaluate tag classified as %q", got)
+	}
+	if got := Phase(errors.New("untagged")); got != "" {
+		t.Errorf("untagged error classified as %q", got)
 	}
 }
 

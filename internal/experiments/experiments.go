@@ -20,6 +20,7 @@ import (
 	"hybridcap/internal/faults"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/network"
+	"hybridcap/internal/obs"
 	"hybridcap/internal/rng"
 	"hybridcap/internal/scaling"
 	"hybridcap/internal/scenario"
@@ -43,6 +44,10 @@ type Result struct {
 	Rows []string
 	// Ascii is a terminal rendering of the figure, if applicable.
 	Ascii string
+	// Manifest is the run manifest for scenario runs: the canonical
+	// scenario hash, the resolved grid, cache activity and per-phase
+	// cell tallies. Nil for experiments that are not scenario sweeps.
+	Manifest *obs.Manifest
 }
 
 // Options tunes experiment cost.
@@ -61,6 +66,11 @@ type Options struct {
 	// the splittable rng and merged in grid order, so scheduling cannot
 	// leak into the output.
 	Workers int
+	// Obs, if set, is the observability runtime the run publishes into:
+	// sweeps open phase spans and feed cell counters, timing histograms
+	// and manifest tallies through it. Nil runs unobserved (scenario
+	// runs still assemble a manifest through a private runtime).
+	Obs *obs.Runtime
 }
 
 func (o Options) seeds() int {
@@ -132,9 +142,26 @@ type Entry struct {
 	Scenarios []*scenario.Scenario
 }
 
+// observed brackets a runner in an "experiment <id>" span when the
+// options carry an observability runtime, so traces follow the
+// run -> experiment -> phase -> cell hierarchy. Unobserved runs pass
+// through untouched.
+func observed(id string, run Runner) Runner {
+	return func(o Options) (*Result, error) {
+		if o.Obs == nil {
+			return run(o)
+		}
+		span := o.Obs.Push("experiment " + id)
+		defer o.Obs.Pop()
+		res, err := run(o)
+		span.SetError(err)
+		return res, err
+	}
+}
+
 // All returns the full experiment registry in presentation order.
 func All() []Entry {
-	return []Entry{
+	entries := []Entry{
 		{ID: "T1", Run: Table1, Scenarios: table1Scenarios()},
 		{ID: "F1", Run: Figure1},
 		{ID: "F2", Run: Figure2},
@@ -155,6 +182,10 @@ func All() []Entry {
 		{ID: "E13", Run: KernelInvariance},
 		{ID: "E14", Run: Resilience},
 	}
+	for i := range entries {
+		entries[i].Run = observed(entries[i].ID, entries[i].Run)
+	}
+	return entries
 }
 
 // Lookup finds a runner by id.

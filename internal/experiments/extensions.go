@@ -106,7 +106,9 @@ func BSOutage(o Options) (*Result, error) {
 	}
 	series := &measure.Series{Name: "lambda(schemeB)"}
 	outages := []float64{0, 0.25, 0.5, 0.75, 0.9}
-	outs := engine.Run(engine.Grid{Points: len(outages), Seeds: o.seeds(), Workers: o.workers()},
+	g := engine.Grid{Points: len(outages), Seeds: o.seeds(), Workers: o.workers()}
+	finish := observeGrid(o, "grid E12 outages", &g, nil)
+	outs := engine.Run(g,
 		func(point, seed int) (float64, error) {
 			nw, tr, err := instance(p, uint64(50+seed), network.Grid)
 			if err != nil {
@@ -121,6 +123,7 @@ func BSOutage(o Options) (*Result, error) {
 			}
 			return ev.Lambda, nil
 		})
+	finish()
 	var baseline float64
 	for i, outage := range outages {
 		if err := engine.FirstErr(outs[i]); err != nil {

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybridcap/internal/obs"
+	"hybridcap/internal/scenario"
+)
+
+// renderObserved runs a scenario under a fresh frozen-clock runtime and
+// returns the rendered metrics dump and trace JSON. A private registry
+// keeps the process-default counters (mobility cache, faults) out of
+// the comparison: those are process-lifetime totals, warmed by whichever
+// test ran first, while everything a run publishes itself must be
+// byte-identical across worker counts.
+func renderObserved(t *testing.T, sc *scenario.Scenario, workers int) (*Result, string, string) {
+	t.Helper()
+	rt := obs.NewRuntimeWith(obs.NewFrozenClock(obs.Epoch), obs.NewRegistry())
+	res, err := RunScenario(sc, Options{Quick: true, Seeds: 2, Workers: workers, Obs: rt})
+	if err != nil {
+		t.Fatalf("RunScenario workers=%d: %v", workers, err)
+	}
+	rt.Root.End()
+	var trace bytes.Buffer
+	if err := rt.Root.WriteJSON(&trace); err != nil {
+		t.Fatalf("trace render: %v", err)
+	}
+	return res, rt.Metrics.Text(), trace.String()
+}
+
+// The observed outputs — metrics dump and span tree — must be
+// byte-identical for Workers=1 and Workers=8 under a frozen clock: cell
+// observations are delivered in grid order after the grid completes, so
+// scheduling cannot leak into what the run publishes.
+func TestScenarioObsDeterministicAcrossWorkers(t *testing.T) {
+	sc, err := scenario.Load("../../examples/scenarios/strong-mobility.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m1, t1 := renderObserved(t, sc, 1)
+	_, m8, t8 := renderObserved(t, sc, 8)
+	if m1 != m8 {
+		t.Errorf("metrics dumps differ between worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", m1, m8)
+	}
+	if t1 != t8 {
+		t.Errorf("traces differ between worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", t1, t8)
+	}
+	for _, want := range []string{
+		"engine_cells_total", "engine_cell_seconds_bucket", "engine_grid_points",
+	} {
+		if !strings.Contains(m1, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, m1)
+		}
+	}
+	if !strings.Contains(t1, "sweep "+sc.Name) {
+		t.Errorf("trace missing sweep span:\n%s", t1)
+	}
+}
+
+// Non-sweep grid experiments publish through the same sink: the
+// registry wraps every runner in an "experiment <id>" span and the grid
+// helpers open phase spans, so figures/tables traces follow
+// run -> experiment -> phase -> cell even off the scenario path.
+func TestExperimentObsHierarchy(t *testing.T) {
+	rt := obs.NewRuntimeWith(obs.NewFrozenClock(obs.Epoch), obs.NewRegistry())
+	run, err := Lookup("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(Options{Quick: true, Seeds: 2, Workers: 2, Obs: rt}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Root.End()
+	var buf bytes.Buffer
+	if err := rt.Root.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trace := buf.String()
+	for _, want := range []string{
+		"experiment E5", "grid E5 placements", "cell p=2 seed=1",
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+	if got := rt.Metrics.Text(); !strings.Contains(got, "engine_cells_total 6") {
+		t.Errorf("metrics missing the 3 placements x 2 seeds cell count:\n%s", got)
+	}
+}
+
+// Every scenario run carries a manifest whose tallies agree with the
+// series coverage counters, whose hash pins the canonical scenario
+// encoding, and which round-trips through its canonical JSON.
+func TestScenarioManifest(t *testing.T) {
+	sc, err := scenario.Load("../../examples/scenarios/strong-mobility-outage.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, _ := renderObserved(t, sc, 4)
+	man := res.Manifest
+	if man == nil {
+		t.Fatal("scenario result carries no manifest")
+	}
+	if man.Schema != obs.ManifestSchema || man.Name != sc.Name {
+		t.Errorf("manifest header %+v", man)
+	}
+	if len(man.ScenarioSHA256) != 64 {
+		t.Errorf("scenario hash %q is not a sha256 hex digest", man.ScenarioSHA256)
+	}
+	if man.Workers != 4 || man.Seeds != 2 {
+		t.Errorf("manifest grid workers=%d seeds=%d", man.Workers, man.Seeds)
+	}
+	if man.Faults == "" {
+		t.Error("fault scenario produced an empty manifest fault line")
+	}
+	if len(man.Phases) != 1 {
+		t.Fatalf("manifest phases %+v", man.Phases)
+	}
+
+	series := res.Series[0]
+	wantOK, wantCells := 0, 0
+	for i := range series.X {
+		wantOK += series.OK[i]
+		wantCells += series.Attempts[i]
+	}
+	tally := man.Phases[0]
+	if tally.Cells != wantCells || tally.OK != wantOK {
+		t.Errorf("tally %+v, series report %d/%d", tally, wantOK, wantCells)
+	}
+	if got := man.Total(); got.Cells != wantCells {
+		t.Errorf("total %+v, want %d cells", got, wantCells)
+	}
+
+	data, err := man.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := parsed.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("manifest round trip drifted:\n%s\nvs\n%s", data, again)
+	}
+}
+
+// RunScenario without an injected runtime still produces a manifest
+// (through a private frozen runtime) and leaves Options untouched for
+// the caller.
+func TestScenarioManifestWithoutRuntime(t *testing.T) {
+	sc, err := scenario.Load("../../examples/scenarios/strong-mobility.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(sc, Options{Quick: true, Seeds: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifest == nil {
+		t.Fatal("unobserved run carries no manifest")
+	}
+	if got := res.Manifest.Total(); got.Cells == 0 {
+		t.Errorf("manifest total %+v counted no cells", got)
+	}
+}

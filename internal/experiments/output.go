@@ -40,9 +40,10 @@ func (r *Result) Text() string {
 	return b.String()
 }
 
-// WriteFiles saves the result under dir: <id>.txt with the report and
+// WriteFiles saves the result under dir: <id>.txt with the report,
 // <id>.csv with the series (when the series share an x grid; otherwise
-// one CSV per series).
+// one CSV per series), and <id>.manifest.json with the run manifest
+// when the result carries one (scenario runs).
 func (r *Result) WriteFiles(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("experiments: %w", err)
@@ -50,6 +51,11 @@ func (r *Result) WriteFiles(dir string) error {
 	txt := filepath.Join(dir, r.ID+".txt")
 	if err := os.WriteFile(txt, []byte(r.Text()), 0o644); err != nil {
 		return fmt.Errorf("experiments: %w", err)
+	}
+	if r.Manifest != nil {
+		if err := r.Manifest.WriteFile(filepath.Join(dir, r.ID+".manifest.json")); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
 	}
 	if len(r.Series) == 0 {
 		return nil

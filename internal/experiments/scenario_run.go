@@ -6,6 +6,8 @@ import (
 	"hybridcap/internal/asciiplot"
 	"hybridcap/internal/capacity"
 	"hybridcap/internal/measure"
+	"hybridcap/internal/mobility"
+	"hybridcap/internal/obs"
 	"hybridcap/internal/scenario"
 )
 
@@ -23,8 +25,20 @@ func RunScenario(sc *scenario.Scenario, o Options) (*Result, error) {
 	if o.Seeds == 0 && sc.Seeds > 0 {
 		o.Seeds = sc.Seeds
 	}
+	rt := o.Obs
+	if rt == nil {
+		// Scenario runs always carry a manifest; an unobserved run
+		// assembles it through a private frozen-clock runtime so the
+		// process-default registry stays untouched.
+		rt = obs.NewRuntimeWith(nil, obs.NewRegistry())
+		o.Obs = rt
+	}
 	sizes := o.sizes(sc.SizesFor(false), sc.SizesFor(true))
+	rt.Push("scenario " + sc.Name)
+	cacheBefore := mobility.ReadCacheStats()
 	series, err := sweepScenario(o, sc, sizes)
+	cacheAfter := mobility.ReadCacheStats()
+	rt.Pop()
 	if err != nil {
 		return nil, err
 	}
@@ -44,10 +58,8 @@ func RunScenario(sc *scenario.Scenario, o Options) (*Result, error) {
 	}
 	res.Rows = append(res.Rows, fmt.Sprintf("schemes %v, placement %s, %d sizes x %d seeds",
 		sc.Schemes, placement, len(sizes), o.seeds()))
-	if fc := sc.FaultConfig(); fc != nil {
-		res.Rows = append(res.Rows, fmt.Sprintf(
-			"faults: seed=%d bs-outage=%.3g count=%d edge-outage=%.3g derating=%.3g erasure=%.3g",
-			fc.Seed, fc.BSOutageFraction, fc.BSOutageCount, fc.EdgeOutageFraction, fc.EdgeDerating, fc.WirelessErasure))
+	if line := faultsLine(sc); line != "" {
+		res.Rows = append(res.Rows, line)
 	}
 	for i := range series.X {
 		res.Rows = append(res.Rows, fmt.Sprintf("n=%6.0f lambda=%.5g seeds-ok=%d/%d",
@@ -70,5 +82,10 @@ func RunScenario(sc *scenario.Scenario, o Options) (*Result, error) {
 		return nil, err
 	}
 	res.Ascii = ascii
+	man, err := buildManifest(rt, sc, o, sizes, cacheBefore, cacheAfter)
+	if err != nil {
+		return nil, err
+	}
+	res.Manifest = man
 	return res, nil
 }

@@ -280,7 +280,9 @@ func PlacementInvariance(o Options) (*Result, error) {
 	series := &measure.Series{Name: "lambda"}
 	vals := map[network.BSPlacement]float64{}
 	placements := []network.BSPlacement{network.Matched, network.Uniform, network.Grid}
-	outs := engine.Run(engine.Grid{Points: len(placements), Seeds: o.seeds(), Workers: o.workers()},
+	g := engine.Grid{Points: len(placements), Seeds: o.seeds(), Workers: o.workers()}
+	finish := observeGrid(o, "grid E5 placements", &g, nil)
+	outs := engine.Run(g,
 		func(point, seed int) (float64, error) {
 			nw, tr, err := instance(p, uint64(100*seed+25), placements[point])
 			if err != nil {
@@ -292,6 +294,7 @@ func PlacementInvariance(o Options) (*Result, error) {
 			}
 			return ev.Lambda, nil
 		})
+	finish()
 	for i, placement := range placements {
 		if err := engine.FirstErr(outs[i]); err != nil {
 			return nil, err
@@ -329,7 +332,9 @@ func ClusterIsolation(o Options) (*Result, error) {
 	series := &measure.Series{Name: "fraction of clusters with close neighbor"}
 	const delta = 1.0
 	seeds := o.seeds()
-	outs := engine.Run(engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()},
+	g := engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()}
+	finish := observeGrid(o, "grid E6 isolation", &g, sizes)
+	outs := engine.Run(g,
 		func(point, seed int) (float64, error) {
 			p := base.WithN(sizes[point])
 			nw, _, err := instance(p, uint64(31+seed), network.Matched)
@@ -349,6 +354,7 @@ func ClusterIsolation(o Options) (*Result, error) {
 			}
 			return float64(tooClose) / float64(len(centers)), nil
 		})
+	finish()
 	for i, n := range sizes {
 		if err := engine.FirstErr(outs[i]); err != nil {
 			return nil, err

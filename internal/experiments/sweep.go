@@ -149,10 +149,16 @@ func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, p
 		}
 	}
 
-	outs := engine.Run(engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()},
+	// Bracket the sweep in a phase span and route every cell outcome
+	// through the sink. The engine delivers observations in grid order,
+	// so the published stream is identical for every worker count.
+	g := engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()}
+	finish := observeGrid(o, "sweep "+name, &g, sizes)
+	outs := engine.Run(g,
 		func(point, seed int) (float64, error) {
 			return runCell(cells[point*seeds+seed], placement, fc, eval)
 		})
+	finish()
 
 	series := &measure.Series{Name: name}
 	for i, n := range sizes {

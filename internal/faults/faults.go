@@ -18,7 +18,19 @@ import (
 	"fmt"
 	"math"
 
+	"hybridcap/internal/obs"
 	"hybridcap/internal/rng"
+)
+
+// Fault activity publishes into the process-default obs registry, so a
+// -metrics-out dump shows how much damage a fault plan actually did.
+// All four are integer counters fed from concurrently evaluated cells;
+// their totals depend only on the workload, not on worker scheduling.
+var (
+	plansBuilt  = obs.Default().Counter("faults_plans_total")
+	bsDowned    = obs.Default().Counter("faults_bs_down_total")
+	edgesKilled = obs.Default().Counter("faults_edge_checks_dead_total")
+	erasures    = obs.Default().Counter("faults_erasures_total")
 )
 
 // Config parameterizes a fault plan. The zero value is a healthy
@@ -84,6 +96,7 @@ func New(cfg Config) (*Plan, error) {
 		return nil, err
 	}
 	root := rng.New(cfg.Seed).Derive("faults")
+	plansBuilt.Inc()
 	return &Plan{
 		cfg:   cfg,
 		bs:    root.Derive("bs"),
@@ -138,6 +151,7 @@ func (p *Plan) BSAlive(k int) []bool {
 	if down == 0 {
 		return alive
 	}
+	bsDowned.Add(uint64(down))
 	// Select the `down` smallest priorities. k is modest (k <= n), so a
 	// simple threshold-by-sort on a copy is fine.
 	pri := make([]float64, k)
@@ -169,7 +183,11 @@ func (p *Plan) EdgeAlive(i, j int) bool {
 		i, j = j, i
 	}
 	u := uniform(p.edges.DeriveN("edge", i).DeriveN("to", j))
-	return u >= p.cfg.EdgeOutageFraction
+	if u < p.cfg.EdgeOutageFraction {
+		edgesKilled.Inc()
+		return false
+	}
+	return true
 }
 
 // EdgeFactor returns the multiplicative capacity factor of backbone
@@ -192,5 +210,9 @@ func (p *Plan) Erased(slot, node int) bool {
 		return false
 	}
 	u := uniform(p.air.DeriveN("slot", slot).DeriveN("node", node))
-	return u < p.cfg.WirelessErasure
+	if u < p.cfg.WirelessErasure {
+		erasures.Inc()
+		return true
+	}
+	return false
 }

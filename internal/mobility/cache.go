@@ -3,7 +3,8 @@ package mobility
 import (
 	"reflect"
 	"sync"
-	"sync/atomic"
+
+	"hybridcap/internal/obs"
 )
 
 // Process-wide, kernel-keyed caches for the two expensive derived
@@ -42,9 +43,13 @@ var (
 	samplerCache sync.Map // Kernel -> *samplerEntry
 	etaCache     sync.Map // Kernel -> *etaEntry
 
-	cacheHits     atomic.Uint64
-	cacheMisses   atomic.Uint64
-	cacheBypasses atomic.Uint64
+	// The cache counters live in the process-default obs registry, so a
+	// -metrics-out dump carries them alongside the engine metrics. The
+	// hit/miss split is scheduling-independent: LoadOrStore admits
+	// exactly one miss per key no matter how many workers race it.
+	cacheHits     = obs.Default().Counter("mobility_kernel_cache_hits_total")
+	cacheMisses   = obs.Default().Counter("mobility_kernel_cache_misses_total")
+	cacheBypasses = obs.Default().Counter("mobility_kernel_cache_bypasses_total")
 )
 
 // cacheable reports whether the kernel's dynamic type can be used as a
@@ -59,15 +64,15 @@ func cacheable(k Kernel) bool {
 // kernels are cached alongside the entry.
 func CachedSampler(k Kernel) (*Sampler, error) {
 	if !cacheable(k) {
-		cacheBypasses.Add(1)
+		cacheBypasses.Inc()
 		return NewSampler(k)
 	}
 	e, loaded := samplerCache.LoadOrStore(k, &samplerEntry{})
 	entry := e.(*samplerEntry)
 	if loaded {
-		cacheHits.Add(1)
+		cacheHits.Inc()
 	} else {
-		cacheMisses.Add(1)
+		cacheMisses.Inc()
 	}
 	entry.once.Do(func() {
 		entry.sampler, entry.err = NewSampler(k)
@@ -81,15 +86,15 @@ func CachedSampler(k Kernel) (*Sampler, error) {
 // instances (including instances with fault plans applied) is safe.
 func CachedEtaTable(k Kernel) (*EtaTable, error) {
 	if !cacheable(k) {
-		cacheBypasses.Add(1)
+		cacheBypasses.Inc()
 		return NewEtaTable(k)
 	}
 	e, loaded := etaCache.LoadOrStore(k, &etaEntry{})
 	entry := e.(*etaEntry)
 	if loaded {
-		cacheHits.Add(1)
+		cacheHits.Inc()
 	} else {
-		cacheMisses.Add(1)
+		cacheMisses.Inc()
 	}
 	entry.once.Do(func() {
 		entry.table, entry.err = NewEtaTable(k)
@@ -113,8 +118,8 @@ type CacheStats struct {
 // snapshots measure the cache behavior of an enclosed workload.
 func ReadCacheStats() CacheStats {
 	return CacheStats{
-		Hits:     cacheHits.Load(),
-		Misses:   cacheMisses.Load(),
-		Bypasses: cacheBypasses.Load(),
+		Hits:     cacheHits.Value(),
+		Misses:   cacheMisses.Value(),
+		Bypasses: cacheBypasses.Value(),
 	}
 }

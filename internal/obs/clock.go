@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the subsystem's only source of time. Production callers
+// inject the wall clock from a cmd/ binary (where wall-clock reads are
+// permitted); deterministic runs and tests inject a FrozenClock or
+// StepClock so every timestamp — and therefore every rendered span
+// tree — is byte-reproducible.
+type Clock interface {
+	Now() time.Time
+}
+
+// ClockFunc adapts a plain function to a Clock, e.g.
+// obs.ClockFunc(time.Now) at a binary's entry point.
+type ClockFunc func() time.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Time { return f() }
+
+// Epoch is the conventional instant frozen clocks start at: a fixed,
+// recognizable timestamp far from zero so frozen output is visibly
+// synthetic.
+var Epoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// FrozenClock reports the same instant on every call. Because the
+// reported time never moves, it is independent of call order and makes
+// observability output identical across worker counts: every span has
+// zero duration and every timestamp is the frozen instant.
+type FrozenClock struct {
+	at time.Time
+}
+
+// NewFrozenClock freezes time at the given instant.
+func NewFrozenClock(at time.Time) FrozenClock { return FrozenClock{at: at.UTC()} }
+
+// Now implements Clock.
+func (c FrozenClock) Now() time.Time { return c.at }
+
+// StepClock advances by a fixed step on every Now call, starting at a
+// base instant. It gives tests strictly increasing, fully determined
+// timestamps — but only under serial use: concurrent callers observe a
+// call-order-dependent sequence, so a StepClock must never time
+// parallel work whose output is compared byte-for-byte.
+type StepClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewStepClock starts a step clock at base, advancing by step per call.
+func NewStepClock(base time.Time, step time.Duration) *StepClock {
+	return &StepClock{now: base.UTC(), step: step}
+}
+
+// Now returns the current instant and advances the clock.
+func (c *StepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}

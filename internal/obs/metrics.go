@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a lock-sharded metrics registry. Metric handles are
+// get-or-create by name, cheap enough to fetch once and hold, and safe
+// for concurrent use; the registry itself is write-mostly (handles are
+// usually created at startup) and sharded by name hash so concurrent
+// lookups from worker pools do not serialize on one lock.
+//
+// Rendering is deterministic: WriteText emits every metric sorted by
+// name, with floats formatted by strconv.FormatFloat(v, 'g', -1, 64),
+// so two runs that recorded the same values produce byte-identical
+// dumps.
+type Registry struct {
+	shards [numShards]shard
+}
+
+const numShards = 16
+
+type shard struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// std is the process-default registry: process-wide publishers (the
+// mobility kernel caches, fault plans) live here so every run's metrics
+// dump includes them without plumbing.
+var std = NewRegistry()
+
+// Default returns the process-default registry.
+func Default() *Registry { return std }
+
+// shardFor hashes a metric name onto its shard.
+func (r *Registry) shardFor(name string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return &r.shards[h.Sum32()%numShards]
+}
+
+// Counter is a monotonically increasing integer metric. Updates are
+// atomic, so concurrent workers may publish freely: integer addition is
+// exactly commutative, which keeps totals identical for every worker
+// count and schedule.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations. The
+// bucket layout is fixed at creation and never changes. Observations
+// accumulate a float sum, whose rounding depends on observation order —
+// so histograms must be fed from deterministic call sites (the engine's
+// grid-ordered cell delivery), never directly from racing workers, if
+// the rendered output is to be byte-reproducible.
+type Histogram struct {
+	mu      sync.Mutex
+	uppers  []float64 // sorted inclusive upper bounds, +Inf excluded
+	buckets []uint64  // cumulative-on-render, plain counts in memory
+	count   uint64
+	sum     float64
+}
+
+// DefSecondsBuckets is the default bucket layout for durations in
+// seconds, spanning sub-millisecond cells to multi-second phases.
+func DefSecondsBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	for i, ub := range h.uppers {
+		if v <= ub {
+			h.buckets[i]++
+			return
+		}
+	}
+}
+
+// snapshot returns cumulative bucket counts, total count and sum.
+func (h *Histogram) snapshot() (uppers []float64, cum []uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.buckets))
+	running := uint64(0)
+	for i, b := range h.buckets {
+		running += b
+		cum[i] = running
+	}
+	return h.uppers, cum, h.count, h.sum
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter returns the named counter, creating it on first use. Names
+// live in a per-type namespace; by convention counters end in "_total".
+func (r *Registry) Counter(name string) *Counter {
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter)
+	}
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gauges == nil {
+		s.gauges = make(map[string]*Gauge)
+	}
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (non-finite and unsorted inputs are
+// sanitized). The first creation fixes the layout; later calls with
+// different buckets return the existing histogram unchanged.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.histograms == nil {
+		s.histograms = make(map[string]*Histogram)
+	}
+	h, ok := s.histograms[name]
+	if !ok {
+		uppers := make([]float64, 0, len(buckets))
+		for _, b := range buckets {
+			if !math.IsInf(b, 0) && !math.IsNaN(b) {
+				uppers = append(uppers, b)
+			}
+		}
+		sort.Float64s(uppers)
+		h = &Histogram{uppers: uppers, buckets: make([]uint64, len(uppers))}
+		s.histograms[name] = h
+	}
+	return h
+}
+
+// textMetric is one rendered metric, ready to sort by name.
+type textMetric struct {
+	name string
+	typ  string
+	body string
+}
+
+// snapshotText renders every metric into sortable blocks. Map iteration
+// order is randomized per run; the blocks are collected first and
+// sorted by name afterwards so the dump is deterministic.
+func (r *Registry) snapshotText() []textMetric {
+	var out []textMetric
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for name, c := range s.counters {
+			out = append(out, textMetric{name: name, typ: "counter",
+				body: name + " " + strconv.FormatUint(c.Value(), 10) + "\n"})
+		}
+		for name, g := range s.gauges {
+			out = append(out, textMetric{name: name, typ: "gauge",
+				body: name + " " + strconv.FormatInt(g.Value(), 10) + "\n"})
+		}
+		for name, h := range s.histograms {
+			out = append(out, textMetric{name: name, typ: "histogram", body: histogramText(name, h)})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// histogramText renders one histogram in Prometheus text exposition
+// style: cumulative le-buckets, then sum and count.
+func histogramText(name string, h *Histogram) string {
+	uppers, cum, count, sum := h.snapshot()
+	var b strings.Builder
+	for i, ub := range uppers {
+		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum[i])
+	}
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(sum))
+	fmt.Fprintf(&b, "%s_count %d\n", name, count)
+	return b.String()
+}
+
+// formatFloat renders a float deterministically (shortest round-trip
+// representation, no locale, no exponent surprises across runs).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText writes the registry in Prometheus text exposition format,
+// metrics sorted by name, each preceded by a # TYPE line. Two
+// registries holding the same values render byte-identically.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.snapshotText() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s", m.name, m.typ, m.body); err != nil {
+			return fmt.Errorf("obs: render metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// Text renders the registry to a string (WriteText into a builder).
+func (r *Registry) Text() string {
+	var b strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = r.WriteText(&b)
+	return b.String()
+}

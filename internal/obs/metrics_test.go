@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Counter and gauge totals must be exact under concurrent publication:
+// integer updates are commutative, so worker scheduling cannot perturb
+// the rendered value.
+func TestCountersAndGaugesConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cells_total")
+	g := r.Gauge("inflight")
+	var wg sync.WaitGroup
+	workers := 8
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}
+
+// Handles are get-or-create: the same name returns the same metric.
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Error("same counter name returned distinct handles")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same gauge name returned distinct handles")
+	}
+	h1 := r.Histogram("h_seconds", DefSecondsBuckets())
+	h2 := r.Histogram("h_seconds", []float64{42}) // layout fixed at creation
+	if h1 != h2 {
+		t.Error("same histogram name returned distinct handles")
+	}
+}
+
+// Histogram buckets are cumulative on render, with out-of-range values
+// only in the +Inf bucket.
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cell_seconds", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 0.5, 2} {
+		h.Observe(v)
+	}
+	text := r.Text()
+	for _, want := range []string{
+		`cell_seconds_bucket{le="0.1"} 1`,
+		`cell_seconds_bucket{le="1"} 3`,
+		`cell_seconds_bucket{le="+Inf"} 4`,
+		"cell_seconds_sum 3.05",
+		"cell_seconds_count 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Two registries recording the same values must render byte-identically
+// regardless of metric creation order: the dump is sorted by name.
+func TestWriteTextDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(7)
+		}
+		r.Gauge("grid_points").Set(3)
+		r.Histogram("d_seconds", DefSecondsBuckets()).Observe(0)
+		return r
+	}
+	a := build([]string{"z_total", "a_total", "m_total"})
+	b := build([]string{"m_total", "z_total", "a_total"})
+	if a.Text() != b.Text() {
+		t.Errorf("renders differ:\n--- a ---\n%s\n--- b ---\n%s", a.Text(), b.Text())
+	}
+	lines := strings.Split(strings.TrimSpace(a.Text()), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "# TYPE a_total counter") {
+		t.Errorf("dump not sorted by name:\n%s", a.Text())
+	}
+}

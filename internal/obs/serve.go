@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format, for a live /metrics endpoint on long sweeps.
+// Every request renders a fresh snapshot; the registry stays the source
+// of truth and the handler holds no state.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The response writer's error has nowhere useful to go: the
+		// client is already gone.
+		_ = r.WriteText(w)
+	})
+}
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry under the given name in the
+// process's expvar tree (served at /debug/vars), as a map of metric
+// name to value: counters and gauges as integers, histograms as
+// {count, sum}. Publishing the same name twice is a no-op, so callers
+// need no once-guard of their own.
+func PublishExpvar(name string, r *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any {
+		return r.expvarSnapshot()
+	}))
+}
+
+// expvarSnapshot flattens the registry into a JSON-friendly map.
+// encoding/json sorts map keys, so the rendered /debug/vars entry is
+// deterministic for a given state.
+func (r *Registry) expvarSnapshot() map[string]any {
+	out := make(map[string]any)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for name, c := range s.counters {
+			out[name] = c.Value()
+		}
+		for name, g := range s.gauges {
+			out[name] = g.Value()
+		}
+		for name, h := range s.histograms {
+			out[name] = map[string]any{"count": h.Count(), "sum": h.Sum()}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A span tree driven by a StepClock has fully determined timestamps and
+// durations.
+func TestSpanTreeWithStepClock(t *testing.T) {
+	clock := NewStepClock(Epoch, time.Second)
+	root := NewSpan(clock, "run") // t=0
+	phase := root.Child("sweep")  // t=1
+	cell := phase.Record("cell n=512 seed=0", 250*time.Millisecond)
+	cell.SetError(errors.New("dead cell"))
+	phase.End() // t=3 (Record consumed t=2)
+	root.End()  // t=4
+
+	tree := root.Tree()
+	if tree.Name != "run" || tree.DurationNS != (4*time.Second).Nanoseconds() {
+		t.Errorf("root = %+v", tree)
+	}
+	if len(tree.Children) != 1 || tree.Children[0].Name != "sweep" {
+		t.Fatalf("children = %+v", tree.Children)
+	}
+	sweep := tree.Children[0]
+	if len(sweep.Children) != 1 {
+		t.Fatalf("sweep children = %+v", sweep.Children)
+	}
+	got := sweep.Children[0]
+	if got.DurationNS != (250 * time.Millisecond).Nanoseconds() {
+		t.Errorf("recorded cell duration %d", got.DurationNS)
+	}
+	if got.Error != "dead cell" {
+		t.Errorf("cell error %q", got.Error)
+	}
+	if phase.Duration() != 2*time.Second {
+		t.Errorf("phase duration %v", phase.Duration())
+	}
+}
+
+// Under a FrozenClock the rendered tree is byte-identical no matter how
+// often or when the clock is consulted.
+func TestSpanTreeFrozenByteIdentical(t *testing.T) {
+	render := func(extraNows int) []byte {
+		clock := NewFrozenClock(Epoch)
+		root := NewSpan(clock, "run")
+		for i := 0; i < extraNows; i++ {
+			_ = clock.Now()
+		}
+		sweep := root.Child("sweep")
+		sweep.Record("cell", 0)
+		sweep.End()
+		root.End()
+		var buf bytes.Buffer
+		if err := root.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(0), render(17)
+	if !bytes.Equal(a, b) {
+		t.Errorf("frozen traces differ:\n%s\n%s", a, b)
+	}
+}
+
+// An open span renders with zero duration, and End keeps the first end.
+func TestSpanOpenAndDoubleEnd(t *testing.T) {
+	clock := NewStepClock(Epoch, time.Second)
+	s := NewSpan(clock, "open")
+	if s.Duration() != 0 {
+		t.Errorf("open span duration %v", s.Duration())
+	}
+	if n := s.Tree(); n.DurationNS != 0 {
+		t.Errorf("open span renders duration %d", n.DurationNS)
+	}
+	s.End()
+	d := s.Duration()
+	s.End()
+	if s.Duration() != d {
+		t.Errorf("second End moved duration %v -> %v", d, s.Duration())
+	}
+}
+
+// A nil clock falls back to the frozen epoch rather than the wall clock.
+func TestNilClockFreezes(t *testing.T) {
+	s := NewSpan(nil, "run")
+	s.End()
+	if got := s.Tree().Start; got != Epoch.Format(time.RFC3339Nano) {
+		t.Errorf("nil-clock start %q", got)
+	}
+	rt := NewRuntimeWith(nil, NewRegistry())
+	if rt.Clock == nil {
+		t.Error("runtime clock not defaulted")
+	}
+}
+
+// Push/Pop bracket phases under the current span.
+func TestRuntimePushPop(t *testing.T) {
+	rt := NewRuntimeWith(NewStepClock(Epoch, time.Second), NewRegistry())
+	outer := rt.Push("scenario x")
+	inner := rt.Push("sweep x")
+	rt.Pop()
+	rt.Pop()
+	rt.Pop() // extra Pop is a no-op
+	rt.Root.End()
+
+	tree := rt.Root.Tree()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "scenario x" {
+		t.Fatalf("root children %+v", tree.Children)
+	}
+	if len(tree.Children[0].Children) != 1 || tree.Children[0].Children[0].Name != "sweep x" {
+		t.Fatalf("scenario children %+v", tree.Children[0].Children)
+	}
+	if inner.Duration() <= 0 || outer.Duration() <= inner.Duration() {
+		t.Errorf("durations outer=%v inner=%v", outer.Duration(), inner.Duration())
+	}
+}

@@ -36,17 +36,29 @@
 //
 //	capsim -scenario examples/scenarios/strong-mobility.json -quick \
 //	    -frozen-clock -metrics-out out/metrics.txt -trace-out out/trace.json
+//
+// Daemon mode: -serve ADDR turns capsim into the long-running scenario
+// service (see README "Scenario service"): POST a scenario JSON to
+// /runs and fetch status/report/manifest by run id, with a bounded
+// admission queue, content-addressed result cache under -cache-dir,
+// and graceful drain on SIGINT/SIGTERM:
+//
+//	capsim -serve :8080 -cache-dir out/cache -quick
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"hybridcap/internal/benchio"
 	"hybridcap/internal/capacity"
@@ -59,17 +71,23 @@ import (
 	"hybridcap/internal/routing"
 	"hybridcap/internal/scaling"
 	"hybridcap/internal/scenario"
+	"hybridcap/internal/server"
 	"hybridcap/internal/traffic"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the run context: the daemon drains
+	// gracefully, and an in-flight scenario sweep stops scheduling grid
+	// cells promptly instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		n           = flag.Int("n", 4096, "number of mobile stations")
 		alpha       = flag.Float64("alpha", 0.3, "network extension exponent: f(n) = n^alpha")
@@ -92,13 +110,28 @@ func run() error {
 		benchQuick  = flag.Bool("bench-quick", true, "with -bench: small sweep sizes (seconds, not minutes)")
 		serveAddr   = flag.String("serve-metrics", "", "serve the live metrics registry on this address (/metrics Prometheus text, /debug/vars expvar) while running")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while running")
+		daemonAddr  = flag.String("serve", "", "run the scenario service on this address (POST /runs; see README \"Scenario service\")")
+		cacheDir    = flag.String("cache-dir", "out/cache", "content-addressed result cache directory (with -serve)")
+		maxQueue    = flag.Int("max-queue", 16, "admission queue bound; a full queue sheds with 429 (with -serve)")
+		maxConc     = flag.Int("max-concurrent", 2, "concurrent scenario runs (with -serve)")
+		runTimeout  = flag.Duration("run-timeout", 0, "per-run deadline, 0 = none (with -serve)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline (with -serve)")
 	)
 	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	serveDebug(*serveAddr, *pprofAddr)
+	if *daemonAddr != "" {
+		return runServe(ctx, *daemonAddr, common, server.Config{
+			CacheDir:      *cacheDir,
+			MaxQueue:      *maxQueue,
+			MaxConcurrent: *maxConc,
+			RunTimeout:    *runTimeout,
+			DrainTimeout:  *drainWait,
+		})
+	}
 	if *scenarioArg != "" {
-		return runScenarioFile(*scenarioArg, common)
+		return runScenarioFile(ctx, *scenarioArg, common)
 	}
 	if *bench {
 		return runBench(common.Workers, *benchSeeds, *benchQuick, *benchOut, common.Clock())
@@ -278,34 +311,61 @@ func selectSchemes(name string, p scaling.Params) ([]routing.Scheme, error) {
 
 // serveDebug starts the optional debug endpoints: the live metrics
 // registry (Prometheus text plus the expvar bridge) and net/http/pprof.
-// The listeners run for the life of the process; a failed listen
-// surfaces only on the served pages, not as a run failure.
+// The user asked for these listeners explicitly, so a listener that
+// fails to come up (or dies later) is reported and fatal — silently
+// running without the requested endpoint would hide exactly the
+// failures it exists to expose.
 func serveDebug(metricsAddr, pprofAddr string) {
+	fatalServe := func(name, addr string, h http.Handler) {
+		go func() {
+			// http.ListenAndServe only ever returns a non-nil error.
+			err := http.ListenAndServe(addr, h)
+			fmt.Fprintf(os.Stderr, "capsim: %s listener on %s failed: %v\n", name, addr, err)
+			os.Exit(1)
+		}()
+	}
 	if metricsAddr != "" {
 		obs.PublishExpvar("hybridcap", obs.Default())
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default().Handler())
 		mux.Handle("/debug/vars", expvar.Handler())
-		go func() {
-			// Best-effort debug endpoint: a dead listener must not take
-			// down the run it observes.
-			_ = http.ListenAndServe(metricsAddr, mux)
-		}()
+		fatalServe("-serve-metrics", metricsAddr, mux)
 	}
 	if pprofAddr != "" {
-		go func() {
-			// The pprof import registered its handlers on the default
-			// mux; same best-effort contract as the metrics listener.
-			_ = http.ListenAndServe(pprofAddr, nil)
-		}()
+		// The pprof import registered its handlers on the default mux.
+		fatalServe("-pprof", pprofAddr, nil)
 	}
+}
+
+// runServe runs the scenario service until the signal context cancels,
+// then drains gracefully. The daemon executes runs with the shared
+// -quick/-seeds/-workers options, so a served run is byte-identical to
+// the same scenario under `capsim -scenario`; -frozen-clock freezes the
+// bookkeeping stamps for deterministic smoke tests.
+func runServe(ctx context.Context, addr string, c *cli.Common, cfg server.Config) error {
+	cfg.Workers = c.Workers
+	cfg.Seeds = c.Seeds
+	cfg.Quick = c.Quick
+	cfg.Clock = c.Clock()
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capsim: scenario service on %s (cache %s, queue %d, concurrency %d)\n",
+		addr, srv.Store().Dir(), cfg.MaxQueue, cfg.MaxConcurrent)
+	if err := srv.ListenAndServe(ctx, addr); err != nil {
+		return err
+	}
+	fmt.Println("capsim: scenario service drained cleanly")
+	return nil
 }
 
 // runScenarioFile loads a declarative scenario file, executes it
 // through the grid engine under the observability runtime selected by
 // the shared flags, and writes the report artifacts (including the run
-// manifest) plus any requested -metrics-out/-trace-out dumps.
-func runScenarioFile(path string, c *cli.Common) error {
+// manifest) plus any requested -metrics-out/-trace-out dumps. The
+// signal context cancels an in-flight sweep promptly.
+func runScenarioFile(ctx context.Context, path string, c *cli.Common) error {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return err
@@ -313,7 +373,7 @@ func runScenarioFile(path string, c *cli.Common) error {
 	rt := c.Runtime()
 	o := c.Options()
 	o.Obs = rt
-	res, err := experiments.RunScenario(sc, o)
+	res, err := experiments.RunScenario(ctx, sc, o)
 	if err != nil {
 		return err
 	}

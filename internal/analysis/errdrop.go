@@ -14,6 +14,14 @@ import (
 // Infallible-by-documentation writers (strings.Builder, bytes.Buffer)
 // and terminal prints to os.Stdout/os.Stderr (fmt.Print*, and fmt.Fprint*
 // whose destination is one of the two) are exempt.
+//
+// HTTP listener calls get the opposite, stricter treatment: the error
+// from net/http's ListenAndServe/Serve (package functions or
+// *http.Server methods) is how a dead listener announces itself, and a
+// `go func() { _ = http.ListenAndServe(...) }()` silently serves
+// nothing forever. Discarding such an error — even explicitly with
+// `_ =` — is flagged; the only escape is a //lint:ignore errdrop with
+// a written justification.
 var ErrDropAnalyzer = &Analyzer{
 	Name: "errdrop",
 	Doc:  "flag call statements that discard an error result; discard explicitly with _ = or justify with //lint:ignore errdrop",
@@ -31,8 +39,20 @@ func runErrDrop(pass *Pass) error {
 				call = st.Call
 			case *ast.GoStmt:
 				call = st.Call
+			case *ast.AssignStmt:
+				// `_ = serve()` is normally the sanctioned explicit
+				// discard, but a discarded listener error means a
+				// silently dead server — flag it anyway.
+				if call = blankAssignedCall(st); call != nil && isListenerCall(pass, call) {
+					pass.Reportf(call.Pos(), "http listener error discarded: a dead listener serves nothing silently; surface the error or justify with //lint:ignore errdrop")
+				}
+				return true
 			}
 			if call == nil || !returnsError(pass, call) || errDropExempt(pass, call) {
+				return true
+			}
+			if isListenerCall(pass, call) {
+				pass.Reportf(call.Pos(), "http listener error discarded: a dead listener serves nothing silently; surface the error or justify with //lint:ignore errdrop")
 				return true
 			}
 			pass.Reportf(call.Pos(), "error result discarded: handle it, assign to _, or justify with //lint:ignore errdrop")
@@ -40,6 +60,58 @@ func runErrDrop(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// blankAssignedCall returns the called expression of st when every
+// left-hand side is the blank identifier and the right-hand side is a
+// single call, nil otherwise.
+func blankAssignedCall(st *ast.AssignStmt) *ast.CallExpr {
+	if len(st.Rhs) != 1 {
+		return nil
+	}
+	for _, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return nil
+		}
+	}
+	call, _ := st.Rhs[0].(*ast.CallExpr)
+	return call
+}
+
+// listenerFuncs are the net/http entry points whose returned error is
+// the only signal that a listener died.
+var listenerFuncs = map[string]bool{
+	"ListenAndServe":    true,
+	"ListenAndServeTLS": true,
+	"Serve":             true,
+	"ServeTLS":          true,
+}
+
+// isListenerCall reports whether call is one of net/http's serve entry
+// points: the package-level functions or the methods on *http.Server.
+func isListenerCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !listenerFuncs[sel.Sel.Name] {
+		return false
+	}
+	// Method on net/http.Server.
+	if s, ok := pass.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		return ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Server"
+	}
+	// Package-level net/http function.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "net/http"
 }
 
 // returnsError reports whether the call (not a type conversion) has at

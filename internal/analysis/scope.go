@@ -23,6 +23,10 @@ var deterministicPkgs = map[string]bool{
 	// trees that must be byte-reproducible, so every timestamp has to
 	// flow through an injected Clock rather than a wall-clock read.
 	"obs": true,
+	// server replays cached runs byte-for-byte and stamps run statuses,
+	// so all of its timekeeping must come from the injected obs.Clock;
+	// a raw time.Now would leak wall-clock into statuses and manifests.
+	"server": true,
 }
 
 // floatEqPkgs are the packages computing order-notation quantities

@@ -1,0 +1,41 @@
+package errdrop
+
+import "net/http"
+
+// listenerBlankDiscard: `_ =` is normally the sanctioned explicit
+// discard, but the error from an HTTP listener is the only signal that
+// the server died, so discarding it is flagged anyway.
+func listenerBlankDiscard() {
+	go func() {
+		_ = http.ListenAndServe(":0", nil) // want "http listener error discarded"
+	}()
+}
+
+func listenerBareStatement(srv *http.Server) {
+	srv.ListenAndServe() // want "http listener error discarded"
+}
+
+func listenerTLSBlankDiscard(srv *http.Server) {
+	_ = srv.ListenAndServeTLS("cert.pem", "key.pem") // want "http listener error discarded"
+}
+
+// listenerHandled surfaces the error: the required discipline.
+func listenerHandled() error {
+	return http.ListenAndServe(":0", nil)
+}
+
+// listenerSuppressed carries a written justification, the only escape.
+func listenerSuppressed() {
+	//lint:ignore errdrop fixture listener in a test harness that never binds
+	_ = http.ListenAndServe(":0", nil)
+}
+
+// fakeServer shares the method name but is not net/http.Server, so an
+// explicit blank discard stays allowed.
+type fakeServer struct{}
+
+func (fakeServer) ListenAndServe() error { return nil }
+
+func notHTTPListener() {
+	_ = fakeServer{}.ListenAndServe()
+}

@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -25,10 +26,12 @@ import (
 )
 
 // Cell-failure phase tags: a failed cell's error says whether instance
-// construction or scheme evaluation broke.
+// construction or scheme evaluation broke, or whether the cell was
+// never run because the grid's context was canceled first.
 const (
 	PhaseConstruct = "construct instance"
 	PhaseEvaluate  = "evaluate"
+	PhaseCanceled  = "canceled"
 )
 
 // ConstructErr tags err as an instance-construction failure.
@@ -37,9 +40,14 @@ func ConstructErr(err error) error { return fmt.Errorf("%s: %w", PhaseConstruct,
 // EvaluateErr tags err as an evaluation failure.
 func EvaluateErr(err error) error { return fmt.Errorf("%s: %w", PhaseEvaluate, err) }
 
+// CanceledErr tags err as a cancellation: the cell was never dispatched
+// because the run's context ended first.
+func CanceledErr(err error) error { return fmt.Errorf("%s: %w", PhaseCanceled, err) }
+
 // Phase classifies a cell failure by its phase tag: PhaseConstruct,
-// PhaseEvaluate, or "" for a nil or untagged error. Observability
-// sinks use it to split failure tallies without unwrapping.
+// PhaseEvaluate, PhaseCanceled, or "" for a nil or untagged error.
+// Observability sinks use it to split failure tallies without
+// unwrapping.
 func Phase(err error) string {
 	if err == nil {
 		return ""
@@ -51,28 +59,43 @@ func Phase(err error) string {
 	if strings.HasPrefix(msg, PhaseEvaluate+":") {
 		return PhaseEvaluate
 	}
+	if strings.HasPrefix(msg, PhaseCanceled+":") {
+		return PhaseCanceled
+	}
 	return ""
 }
 
 // ForEachIndex runs fn(0..n-1) on a bounded pool of workers goroutines
-// and returns when every call has finished. Each index is dispatched
-// exactly once; fn writes its result into a caller-owned slot for that
-// index, so no further synchronization is needed and the caller can
-// merge results in index order regardless of scheduling. With workers
-// <= 1 (or a single index) the calls run inline on the caller's
-// goroutine, making the serial path identical to a plain loop.
-func ForEachIndex(workers, n int, fn func(i int)) {
+// and returns when every dispatched call has finished. Each index is
+// dispatched at most once; fn writes its result into a caller-owned
+// slot for that index, so no further synchronization is needed and the
+// caller can merge results in index order regardless of scheduling.
+// With workers <= 1 (or a single index) the calls run inline on the
+// caller's goroutine, making the serial path identical to a plain loop.
+//
+// Cancellation: once ctx is done, no new index is dispatched;
+// already-running calls finish normally and the pool drains before
+// ForEachIndex returns, so no goroutine outlives the call. The return
+// value is ctx.Err() when the context ended before every index was
+// handled, nil otherwise. A nil ctx never cancels.
+func ForEachIndex(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next int
 	var mu sync.Mutex
@@ -82,6 +105,9 @@ func ForEachIndex(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -94,6 +120,7 @@ func ForEachIndex(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Outcome is the result of evaluating one cell. Cells fail
@@ -108,12 +135,27 @@ type Outcome[T any] struct {
 // and returns the outcomes in index order. A panicking fn is converted
 // to an error outcome for its index, so one broken cell cannot tear
 // down the run.
-func Map[T any](workers, n int, fn func(i int) (T, error)) []Outcome[T] {
+//
+// When ctx is canceled mid-run, indices that already evaluated keep
+// their outcomes (still in index order) and every index that was never
+// dispatched carries a PhaseCanceled-tagged ctx error, so callers can
+// tell completed work from preempted work without extra bookkeeping.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) []Outcome[T] {
 	outs := make([]Outcome[T], n)
-	ForEachIndex(workers, n, func(i int) {
+	done := make([]bool, n)
+	err := ForEachIndex(ctx, workers, n, func(i int) {
 		v, err := guard(func() (T, error) { return fn(i) })
 		outs[i] = Outcome[T]{Value: v, Err: err}
+		done[i] = true
 	})
+	if err != nil {
+		cerr := CanceledErr(err)
+		for i := range outs {
+			if !done[i] {
+				outs[i] = Outcome[T]{Err: cerr}
+			}
+		}
+	}
 	return outs
 }
 
@@ -170,8 +212,10 @@ type Grid struct {
 // outcomes indexed [point][seed]. Results are byte-identical for every
 // worker count: cells only depend on their coordinates, and merging is
 // in grid order. OnCell hooks fire before Obs observations, both in
-// grid order.
-func Run[T any](g Grid, cell func(point, seed int) (T, error)) [][]Outcome[T] {
+// grid order. A canceled ctx stops scheduling new cells promptly;
+// cells that already ran keep their outcomes and the rest carry
+// PhaseCanceled-tagged errors (see Map).
+func Run[T any](ctx context.Context, g Grid, cell func(point, seed int) (T, error)) [][]Outcome[T] {
 	if g.Points <= 0 || g.Seeds <= 0 {
 		return nil
 	}
@@ -189,7 +233,7 @@ func Run[T any](g Grid, cell func(point, seed int) (T, error)) [][]Outcome[T] {
 			return v, err
 		}
 	}
-	flat := Map(g.Workers, n, func(i int) (T, error) {
+	flat := Map(ctx, g.Workers, n, func(i int) (T, error) {
 		return timed(i/g.Seeds, i%g.Seeds)
 	})
 	outs := make([][]Outcome[T], g.Points)

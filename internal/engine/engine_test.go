@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -29,7 +31,7 @@ func TestForEachIndexDispatchesEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7, 64} {
 		n := 37
 		counts := make([]int32, n)
-		ForEachIndex(workers, n, func(i int) {
+		ForEachIndex(context.Background(), workers, n, func(i int) {
 			atomic.AddInt32(&counts[i], 1)
 		})
 		for i, c := range counts {
@@ -39,7 +41,7 @@ func TestForEachIndexDispatchesEveryIndexOnce(t *testing.T) {
 		}
 	}
 	// n <= 0 must be a no-op.
-	ForEachIndex(4, 0, func(i int) { t.Errorf("dispatched index %d of empty range", i) })
+	ForEachIndex(context.Background(), 4, 0, func(i int) { t.Errorf("dispatched index %d of empty range", i) })
 }
 
 // Map must return outcomes in index order, identical for every worker
@@ -51,9 +53,9 @@ func TestMapDeterministicAcrossWorkers(t *testing.T) {
 		}
 		return float64(i * i), nil
 	}
-	ref := Map(1, 23, fn)
+	ref := Map(context.Background(), 1, 23, fn)
 	for _, workers := range []int{2, 8, 32} {
-		got := Map(workers, 23, fn)
+		got := Map(context.Background(), workers, 23, fn)
 		if !reflect.DeepEqual(got, ref) {
 			t.Errorf("workers=%d: outcomes differ from serial", workers)
 		}
@@ -62,7 +64,7 @@ func TestMapDeterministicAcrossWorkers(t *testing.T) {
 
 // A panicking cell becomes an error outcome; the other cells survive.
 func TestMapGuardsPanics(t *testing.T) {
-	outs := Map(4, 6, func(i int) (int, error) {
+	outs := Map(context.Background(), 4, 6, func(i int) (int, error) {
 		if i == 2 {
 			panic("boom")
 		}
@@ -89,7 +91,7 @@ func TestRunGridOrderAndHooks(t *testing.T) {
 	g.OnCell = func(point, seed int, err error) {
 		hookOrder = append(hookOrder, fmt.Sprintf("%d/%d:%v", point, seed, err != nil))
 	}
-	outs := Run(g, func(point, seed int) (int, error) {
+	outs := Run(context.Background(), g, func(point, seed int) (int, error) {
 		if point == 1 && seed == 1 {
 			return 0, errors.New("dead cell")
 		}
@@ -133,7 +135,7 @@ func TestRunObserverParityAcrossWorkers(t *testing.T) {
 		g.Obs = observerFunc(func(point, seed int, d time.Duration, err error) {
 			events = append(events, fmt.Sprintf("obs %d/%d phase=%q d=%d", point, seed, Phase(err), d))
 		})
-		Run(g, func(point, seed int) (int, error) {
+		Run(context.Background(), g, func(point, seed int) (int, error) {
 			switch {
 			case point == 1 && seed == 0:
 				panic("boom")
@@ -184,7 +186,7 @@ func TestRunObserverWithoutClock(t *testing.T) {
 			t.Errorf("cell %d/%d reported duration %v without a clock", point, seed, d)
 		}
 	})
-	Run(g, func(point, seed int) (int, error) { return 0, nil })
+	Run(context.Background(), g, func(point, seed int) (int, error) { return 0, nil })
 	if n != 4 {
 		t.Errorf("observed %d cells, want 4", n)
 	}
@@ -201,6 +203,9 @@ func TestPhaseClassifier(t *testing.T) {
 	if got := Phase(EvaluateErr(errors.New("x"))); got != PhaseEvaluate {
 		t.Errorf("evaluate tag classified as %q", got)
 	}
+	if got := Phase(CanceledErr(context.Canceled)); got != PhaseCanceled {
+		t.Errorf("canceled tag classified as %q", got)
+	}
 	if got := Phase(errors.New("untagged")); got != "" {
 		t.Errorf("untagged error classified as %q", got)
 	}
@@ -208,7 +213,7 @@ func TestPhaseClassifier(t *testing.T) {
 
 // An empty grid returns nil without invoking anything.
 func TestRunEmptyGrid(t *testing.T) {
-	outs := Run(Grid{Points: 0, Seeds: 3}, func(point, seed int) (int, error) {
+	outs := Run(context.Background(), Grid{Points: 0, Seeds: 3}, func(point, seed int) (int, error) {
 		t.Error("cell invoked on empty grid")
 		return 0, nil
 	})
@@ -279,5 +284,178 @@ func TestCount(t *testing.T) {
 	st := Count(outs)
 	if st.Cells != 4 || st.OK != 3 {
 		t.Errorf("stats %+v", st)
+	}
+}
+
+// A context canceled before the run starts must dispatch nothing: every
+// outcome carries a PhaseCanceled tag and fn is never invoked, for both
+// the serial and the pooled path.
+func TestMapCanceledBeforeStart(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		outs := Map(ctx, workers, 10, func(i int) (int, error) {
+			t.Errorf("workers=%d: cell %d dispatched after cancel", workers, i)
+			return 0, nil
+		})
+		if len(outs) != 10 {
+			t.Fatalf("workers=%d: %d outcomes, want 10", workers, len(outs))
+		}
+		for i, out := range outs {
+			if Phase(out.Err) != PhaseCanceled {
+				t.Errorf("workers=%d: cell %d error %v, want canceled tag", workers, i, out.Err)
+			}
+			if !errors.Is(out.Err, context.Canceled) {
+				t.Errorf("workers=%d: cell %d lost the ctx cause: %v", workers, i, out.Err)
+			}
+		}
+	}
+}
+
+// Canceling mid-run stops scheduling promptly: the cells in flight at
+// cancellation finish and keep their index-order outcomes, every
+// undispatched cell carries a PhaseCanceled tag, and no cell starts
+// after the cancel. The gate makes the cut deterministic: exactly
+// `workers` cells are in flight when the context ends.
+func TestMapCancellationStopsScheduling(t *testing.T) {
+	const workers, n = 3, 40
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, n)
+	release := make(chan struct{})
+	var startedTotal atomic.Int32
+	outCh := make(chan []Outcome[int], 1)
+	go func() {
+		outCh <- Map(ctx, workers, n, func(i int) (int, error) {
+			startedTotal.Add(1)
+			started <- struct{}{}
+			<-release
+			return i * i, nil
+		})
+	}()
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	cancel()
+	close(release)
+	outs := <-outCh
+
+	var done, canceled int
+	for i, out := range outs {
+		switch Phase(out.Err) {
+		case "":
+			done++
+			if out.Value != i*i {
+				t.Errorf("completed cell %d value %d, want %d", i, out.Value, i*i)
+			}
+		case PhaseCanceled:
+			canceled++
+			if !errors.Is(out.Err, context.Canceled) {
+				t.Errorf("canceled cell %d lost the ctx cause: %v", i, out.Err)
+			}
+		default:
+			t.Errorf("cell %d unexpected error %v", i, out.Err)
+		}
+	}
+	if done != workers {
+		t.Errorf("%d cells completed, want exactly the %d in flight at cancel", done, workers)
+	}
+	if canceled != n-workers {
+		t.Errorf("%d cells canceled, want %d", canceled, n-workers)
+	}
+	if got := startedTotal.Load(); got != workers {
+		t.Errorf("%d cells started, want %d: a cell was dispatched after cancel", got, workers)
+	}
+}
+
+// A canceled Run keeps the grid shape and grid-order merge: completed
+// cells sit at their own [point][seed] coordinates with correct values,
+// canceled cells are tagged, and hooks still fire for every cell in
+// grid order.
+func TestRunCanceledKeepsGridOrder(t *testing.T) {
+	const points, seeds = 5, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var hooks int
+	g := Grid{Points: points, Seeds: seeds, Workers: 2}
+	g.OnCell = func(point, seed int, err error) { hooks++ }
+	outs := Run(ctx, g, func(point, seed int) (int, error) {
+		if point == 0 && seed == 1 {
+			cancel()
+		}
+		return 100*point + seed, nil
+	})
+	if len(outs) != points || len(outs[0]) != seeds {
+		t.Fatalf("grid shape %dx%d", len(outs), len(outs[0]))
+	}
+	var done, canceled int
+	for p := 0; p < points; p++ {
+		for s := 0; s < seeds; s++ {
+			out := outs[p][s]
+			if out.Err == nil {
+				done++
+				if out.Value != 100*p+s {
+					t.Errorf("cell %d/%d value %d, want %d", p, s, out.Value, 100*p+s)
+				}
+				continue
+			}
+			if Phase(out.Err) != PhaseCanceled {
+				t.Errorf("cell %d/%d unexpected error %v", p, s, out.Err)
+			}
+			canceled++
+		}
+	}
+	if done == 0 || canceled == 0 {
+		t.Errorf("done=%d canceled=%d: cancel mid-run should split the grid", done, canceled)
+	}
+	if hooks != points*seeds {
+		t.Errorf("%d hooks fired, want %d: canceled cells must still be observed", hooks, points*seeds)
+	}
+}
+
+// ForEachIndex must drain its pool before returning even when canceled:
+// repeated canceled runs leave no goroutines behind.
+func TestForEachIndexCanceledNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 25; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachIndex(ctx, 8, 64, func(i int) {
+			if i == 0 {
+				cancel()
+			}
+		})
+		cancel()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: unexpected error %v", round, err)
+		}
+	}
+	// The pool joins via wg.Wait before ForEachIndex returns, so any
+	// surplus goroutines here are leaks, not stragglers; allow a little
+	// slack for the runtime's own background goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after canceled runs", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The serial path honors cancellation between iterations.
+func TestForEachIndexSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := ForEachIndex(ctx, 1, 10, func(i int) {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Errorf("ran %d iterations, want 3: serial path must stop at the next index", ran)
 	}
 }

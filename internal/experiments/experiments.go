@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -71,6 +72,19 @@ type Options struct {
 	// and manifest tallies through it. Nil runs unobserved (scenario
 	// runs still assemble a manifest through a private runtime).
 	Obs *obs.Runtime
+	// Ctx, if set, cancels the run: the engine stops scheduling new
+	// grid cells as soon as the context ends (per-run deadlines, client
+	// aborts, daemon shutdown), and a canceled sweep fails with the
+	// context error instead of returning partial data. Nil never
+	// cancels.
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) seeds() int {

@@ -108,7 +108,7 @@ func BSOutage(o Options) (*Result, error) {
 	outages := []float64{0, 0.25, 0.5, 0.75, 0.9}
 	g := engine.Grid{Points: len(outages), Seeds: o.seeds(), Workers: o.workers()}
 	finish := observeGrid(o, "grid E12 outages", &g, nil)
-	outs := engine.Run(g,
+	outs := engine.Run(o.ctx(), g,
 		func(point, seed int) (float64, error) {
 			nw, tr, err := instance(p, uint64(50+seed), network.Grid)
 			if err != nil {
@@ -171,7 +171,7 @@ func KernelInvariance(o Options) (*Result, error) {
 		mobility.TruncGauss{Sigma: 0.4, D: 1},
 		mobility.PowerLaw{D0: 0.3, Beta: 2, D: 1},
 	}
-	outs := engine.Map(o.workers(), len(kernels), func(i int) (*routing.Evaluation, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(kernels), func(i int) (*routing.Evaluation, error) {
 		nw, err := network.New(network.Config{Params: p, Seed: 71, Kernel: kernels[i]})
 		if err != nil {
 			return nil, engine.ConstructErr(err)

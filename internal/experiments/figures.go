@@ -47,7 +47,7 @@ func Figure1(o Options) (*Result, error) {
 		field []float64
 		rep   linkcap.UniformityReport
 	}
-	outs := engine.Map(o.workers(), len(cases), func(i int) (densityCell, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(cases), func(i int) (densityCell, error) {
 		nw, _, err := instance(cases[i].p, 11, network.Matched)
 		if err != nil {
 			return densityCell{}, engine.ConstructErr(err)
@@ -169,7 +169,7 @@ func figure3(id, title string, phi float64, o Options) (*Result, error) {
 	field := make([]float64, cols*rows)
 	boundary := &measure.Series{Name: "dominance boundary K(alpha)"}
 	// Analytic, but still a grid: each heatmap row is one engine cell.
-	rowOuts := engine.Map(o.workers(), rows, func(r int) ([]float64, error) {
+	rowOuts := engine.Map(o.ctx(), o.workers(), rows, func(r int) ([]float64, error) {
 		kexp := float64(r) / float64(rows-1)
 		vals := make([]float64, cols)
 		for c := 0; c < cols; c++ {

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -60,6 +58,11 @@ func (s *cellSink) ObserveCell(point, seed int, d time.Duration, err error) {
 	case engine.PhaseEvaluate:
 		s.evaluate.Inc()
 		s.tally.EvaluateFailed++
+	case engine.PhaseCanceled:
+		// Created lazily so uncanceled runs render the exact same
+		// metrics text as before cancellation existed.
+		s.rt.Metrics.Counter("engine_cells_canceled_total").Inc()
+		s.tally.Canceled++
 	default:
 		if err == nil {
 			s.ok.Inc()
@@ -125,23 +128,12 @@ func faultsLine(sc *scenario.Scenario) string {
 		fc.Seed, fc.BSOutageFraction, fc.BSOutageCount, fc.EdgeOutageFraction, fc.EdgeDerating, fc.WirelessErasure)
 }
 
-// scenarioHash returns the hex SHA-256 of the scenario's canonical JSON
-// encoding, identifying exactly which spec produced a report.
-func scenarioHash(sc *scenario.Scenario) (string, error) {
-	data, err := sc.Marshal()
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:]), nil
-}
-
 // buildManifest assembles the run manifest for a scenario run: the
 // canonical scenario hash, the resolved grid, the fault plan, the
 // kernel-cache activity over the run, and every phase tally the runtime
 // collected.
 func buildManifest(rt *obs.Runtime, sc *scenario.Scenario, o Options, sizes []int, before, after mobility.CacheStats) (*obs.Manifest, error) {
-	hash, err := scenarioHash(sc)
+	hash, err := sc.SHA256()
 	if err != nil {
 		return nil, err
 	}

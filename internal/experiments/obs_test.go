@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ import (
 func renderObserved(t *testing.T, sc *scenario.Scenario, workers int) (*Result, string, string) {
 	t.Helper()
 	rt := obs.NewRuntimeWith(obs.NewFrozenClock(obs.Epoch), obs.NewRegistry())
-	res, err := RunScenario(sc, Options{Quick: true, Seeds: 2, Workers: workers, Obs: rt})
+	res, err := RunScenario(context.Background(), sc, Options{Quick: true, Seeds: 2, Workers: workers, Obs: rt})
 	if err != nil {
 		t.Fatalf("RunScenario workers=%d: %v", workers, err)
 	}
@@ -158,7 +159,7 @@ func TestScenarioManifestWithoutRuntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunScenario(sc, Options{Quick: true, Seeds: 2, Workers: 2})
+	res, err := RunScenario(context.Background(), sc, Options{Quick: true, Seeds: 2, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

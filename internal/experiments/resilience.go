@@ -41,7 +41,7 @@ func Resilience(o Options) (*Result, error) {
 		degraded, dropped int
 	}
 	evalAt := func(fc faults.Config) (lambda float64, degraded, dropped int, err error) {
-		outs := engine.Map(o.workers(), o.seeds(), func(s int) (seedOutcome, error) {
+		outs := engine.Map(o.ctx(), o.workers(), o.seeds(), func(s int) (seedOutcome, error) {
 			plan, perr := faults.New(fc)
 			if perr != nil {
 				return seedOutcome{}, engine.ConstructErr(perr)
@@ -78,7 +78,7 @@ func Resilience(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	floors := engine.Map(o.workers(), o.seeds(), func(s int) (float64, error) {
+	floors := engine.Map(o.ctx(), o.workers(), o.seeds(), func(s int) (float64, error) {
 		nw, tr, ierr := instance(p, uint64(90+s), network.Grid)
 		if ierr != nil {
 			return 0, engine.ConstructErr(ierr)

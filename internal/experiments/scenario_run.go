@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hybridcap/internal/asciiplot"
@@ -16,12 +17,16 @@ import (
 // per-point coverage, the regime classification and theoretical
 // capacity order at the largest size, and — when the scenario requests
 // it — a power-law fit of the measured exponent. This is the runner
-// behind `capsim -scenario file.json`; the built-in Table-I regimes
-// (Entry.Scenarios) execute through the same path.
-func RunScenario(sc *scenario.Scenario, o Options) (*Result, error) {
+// behind `capsim -scenario file.json` and the scenario daemon's only
+// execution path (served results match the CLI byte for byte); the
+// built-in Table-I regimes (Entry.Scenarios) execute through the same
+// path. A canceled ctx stops the sweep promptly and fails the run with
+// the context error — a canceled run never yields a partial Result.
+func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	o.Ctx = ctx
 	if o.Seeds == 0 && sc.Seeds > 0 {
 		o.Seeds = sc.Seeds
 	}

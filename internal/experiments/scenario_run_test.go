@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,7 @@ func tinyScenario() *scenario.Scenario {
 // validate, sweep through the engine, and report regime, coverage and
 // the requested fit.
 func TestRunScenario(t *testing.T) {
-	res, err := RunScenario(tinyScenario(), Options{Workers: 2})
+	res, err := RunScenario(context.Background(), tinyScenario(), Options{Workers: 2})
 	if err != nil {
 		t.Fatalf("RunScenario: %v", err)
 	}
@@ -49,7 +50,7 @@ func TestRunScenario(t *testing.T) {
 func TestRunScenarioSeedsAndValidation(t *testing.T) {
 	sc := tinyScenario()
 	sc.Seeds = 2
-	res, err := RunScenario(sc, Options{Workers: 1})
+	res, err := RunScenario(context.Background(), sc, Options{Workers: 1})
 	if err != nil {
 		t.Fatalf("RunScenario: %v", err)
 	}
@@ -59,7 +60,7 @@ func TestRunScenarioSeedsAndValidation(t *testing.T) {
 
 	bad := tinyScenario()
 	bad.Schemes = []string{"schemeZ"}
-	if _, err := RunScenario(bad, Options{}); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+	if _, err := RunScenario(context.Background(), bad, Options{}); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
 		t.Errorf("invalid scenario accepted: %v", err)
 	}
 }

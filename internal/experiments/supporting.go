@@ -56,7 +56,7 @@ func UniformDensity(o Options) (*Result, error) {
 			return nil, fmt.Errorf("experiments: E1 point %v: %w", p, err)
 		}
 	}
-	outs := engine.Map(o.workers(), len(points), func(i int) (linkcap.UniformityReport, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(points), func(i int) (linkcap.UniformityReport, error) {
 		nw, _, err := instance(points[i], 21, network.Matched)
 		if err != nil {
 			return linkcap.UniformityReport{}, engine.ConstructErr(err)
@@ -112,7 +112,7 @@ func OptimalRT(o Options) (*Result, error) {
 	series := &measure.Series{Name: "scheduled pairs per slot"}
 	critical := 1 / math.Sqrt(float64(n))
 	mults := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 1, 2, 4, 8}
-	outs := engine.Map(o.workers(), len(mults), func(i int) (*sim.ContactReport, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(mults), func(i int) (*sim.ContactReport, error) {
 		nw, _, err := instance(p, 22, 0)
 		if err != nil {
 			return nil, engine.ConstructErr(err)
@@ -174,7 +174,7 @@ func NoBSCapacity(o Options) (*Result, error) {
 		return nil, err
 	}
 	bound := &measure.Series{Name: "cutBound"}
-	outs := engine.Map(o.workers(), len(sizes), func(i int) (float64, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(sizes), func(i int) (float64, error) {
 		p := base.WithN(sizes[i])
 		nw, tr, err := instance(p, 23, network.Grid)
 		if err != nil {
@@ -225,7 +225,7 @@ func DominanceCrossover(o Options) (*Result, error) {
 	measured := &measure.Series{Name: "measured lambda"}
 	theory := &measure.Series{Name: "theory exponent eval"}
 	kexps := []float64{0.3, 0.45, 0.6, 0.7, 0.8, 0.9, 1.0}
-	outs := engine.Map(o.workers(), len(kexps), func(i int) (float64, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(kexps), func(i int) (float64, error) {
 		p := scaling.Params{N: n, Alpha: alpha, K: kexps[i], Phi: 1, M: 1, R: 0}
 		nw, tr, err := instance(p, 24, network.Grid)
 		if err != nil {
@@ -282,7 +282,7 @@ func PlacementInvariance(o Options) (*Result, error) {
 	placements := []network.BSPlacement{network.Matched, network.Uniform, network.Grid}
 	g := engine.Grid{Points: len(placements), Seeds: o.seeds(), Workers: o.workers()}
 	finish := observeGrid(o, "grid E5 placements", &g, nil)
-	outs := engine.Run(g,
+	outs := engine.Run(o.ctx(), g,
 		func(point, seed int) (float64, error) {
 			nw, tr, err := instance(p, uint64(100*seed+25), placements[point])
 			if err != nil {
@@ -334,7 +334,7 @@ func ClusterIsolation(o Options) (*Result, error) {
 	seeds := o.seeds()
 	g := engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()}
 	finish := observeGrid(o, "grid E6 isolation", &g, sizes)
-	outs := engine.Run(g,
+	outs := engine.Run(o.ctx(), g,
 		func(point, seed int) (float64, error) {
 			p := base.WithN(sizes[point])
 			nw, _, err := instance(p, uint64(31+seed), network.Matched)
@@ -398,7 +398,7 @@ func TrivialMobilityPersistence(o Options) (*Result, error) {
 		}
 		points = append(points, p)
 	}
-	outs := engine.Map(o.workers(), len(points), func(i int) (float64, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(points), func(i int) (float64, error) {
 		p := points[i]
 		nw, _, err := instance(p, 26, network.Matched)
 		if err != nil {
@@ -486,7 +486,7 @@ func OptimalPhi(o Options) (*Result, error) {
 	}
 	series := &measure.Series{Name: "lambda(schemeB)"}
 	phis := []float64{-1, -0.75, -0.5, -0.25, 0, 0.25, 0.5, 1}
-	outs := engine.Map(o.workers(), len(phis), func(i int) (*routing.Evaluation, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(phis), func(i int) (*routing.Evaluation, error) {
 		p := scaling.Params{N: n, Alpha: 0.25, K: 0.6, Phi: phis[i], M: 1, R: 0}
 		nw, tr, err := instance(p, 27, network.Grid)
 		if err != nil {
@@ -536,7 +536,7 @@ func AccessRate(o Options) (*Result, error) {
 		mean  float64
 		numBS int
 	}
-	outs := engine.Map(o.workers(), len(kexps), func(i int) (accessCell, error) {
+	outs := engine.Map(o.ctx(), o.workers(), len(kexps), func(i int) (accessCell, error) {
 		p := scaling.Params{N: n, Alpha: 0.25, K: kexps[i], Phi: 0, M: 1, R: 0}
 		nw, _, err := instance(p, 28, network.Uniform)
 		if err != nil {

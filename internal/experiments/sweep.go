@@ -152,13 +152,20 @@ func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, p
 	// Bracket the sweep in a phase span and route every cell outcome
 	// through the sink. The engine delivers observations in grid order,
 	// so the published stream is identical for every worker count.
+	ctx := o.ctx()
 	g := engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()}
 	finish := observeGrid(o, "sweep "+name, &g, sizes)
-	outs := engine.Run(g,
+	outs := engine.Run(ctx, g,
 		func(point, seed int) (float64, error) {
 			return runCell(cells[point*seeds+seed], placement, fc, eval)
 		})
 	finish()
+
+	// A canceled sweep must fail as a whole: partial grids would look
+	// like degraded-but-valid data, and a daemon must never cache them.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
 
 	series := &measure.Series{Name: name}
 	for i, n := range sizes {

@@ -28,6 +28,11 @@ type PhaseTally struct {
 	// EvaluateFailed counts cells whose evaluation failed (including
 	// panics converted to errors).
 	EvaluateFailed int `json:"evaluate_failed"`
+	// Canceled counts cells that were never dispatched because the
+	// run's context ended first (per-run deadline, client abort, daemon
+	// shutdown). Omitted from the JSON when zero, so uncanceled
+	// manifests are unchanged byte for byte.
+	Canceled int `json:"canceled,omitempty"`
 }
 
 // CacheDelta is the mobility kernel-cache activity over a run.
@@ -76,6 +81,7 @@ func (m *Manifest) Total() PhaseTally {
 		t.OK += p.OK
 		t.ConstructFailed += p.ConstructFailed
 		t.EvaluateFailed += p.EvaluateFailed
+		t.Canceled += p.Canceled
 	}
 	return t
 }

@@ -14,6 +14,8 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -191,6 +193,19 @@ func (s *Scenario) Marshal() ([]byte, error) {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	return append(data, '\n'), nil
+}
+
+// SHA256 returns the hex SHA-256 of the scenario's canonical JSON
+// encoding: the content address of the run. Because Marshal is
+// deterministic, two submissions describing the same regime hash
+// identically, which is what makes memoized serving sound.
+func (s *Scenario) SHA256() (string, error) {
+	data, err := s.Marshal()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Parse decodes and validates a scenario. Unknown fields are rejected,

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// EntrySchema is the current cache-entry file schema version.
+const EntrySchema = 1
+
+// entrySuffix is the filename suffix of one cache entry; the prefix is
+// the scenario's canonical sha256, so the directory listing IS the
+// index.
+const entrySuffix = ".run.json"
+
+// ErrCacheMiss reports that no (valid) entry exists for a hash.
+var ErrCacheMiss = errors.New("server: cache miss")
+
+// errCorrupt tags an entry that exists on disk but failed validation;
+// the store evicts it and the server recomputes instead of serving it.
+var errCorrupt = errors.New("server: corrupt cache entry")
+
+// Entry is one cached run result: the canonical scenario that produced
+// it plus the exact bytes the run emitted. Replaying an entry serves
+// the stored bytes untouched, so a cache hit is byte-identical to the
+// original computation.
+type Entry struct {
+	// Schema is the entry file schema version.
+	Schema int `json:"schema"`
+	// ScenarioSHA256 is the content address: the hex SHA-256 of the
+	// canonical scenario JSON stored in Scenario.
+	ScenarioSHA256 string `json:"scenario_sha256"`
+	// Scenario is the canonical scenario JSON.
+	Scenario string `json:"scenario"`
+	// Report is the rendered report text (Result.Text()).
+	Report string `json:"report"`
+	// Manifest is the run manifest JSON.
+	Manifest string `json:"manifest"`
+	// PayloadSHA256 is the hex SHA-256 over Scenario, Report and
+	// Manifest (NUL-separated), detecting truncated or bit-rotted
+	// entries independently of the JSON framing.
+	PayloadSHA256 string `json:"payload_sha256"`
+}
+
+// payloadSum checksums the entry's payload fields.
+func (e *Entry) payloadSum() string {
+	h := sha256.New()
+	for _, s := range []string{e.Scenario, e.Report, e.Manifest} {
+		// hash.Hash writers are documented never to fail.
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// validate checks the entry's framing and checksum against the hash it
+// was loaded under.
+func (e *Entry) validate(hash string) error {
+	if e.Schema != EntrySchema {
+		return fmt.Errorf("%w: schema %d, want %d", errCorrupt, e.Schema, EntrySchema)
+	}
+	if e.ScenarioSHA256 != hash {
+		return fmt.Errorf("%w: entry addressed %s claims scenario %s", errCorrupt, hash, e.ScenarioSHA256)
+	}
+	sum := sha256.Sum256([]byte(e.Scenario))
+	if hex.EncodeToString(sum[:]) != hash {
+		return fmt.Errorf("%w: stored scenario does not hash to %s", errCorrupt, hash)
+	}
+	if e.payloadSum() != e.PayloadSHA256 {
+		return fmt.Errorf("%w: payload checksum mismatch", errCorrupt)
+	}
+	return nil
+}
+
+// Store is the content-addressed result cache: one JSON entry file per
+// scenario hash, written atomically (temp file + rename in the same
+// directory), so a crash mid-write can never leave a half-visible
+// entry — the rename either happened or it did not. Reloading the
+// directory on restart is the daemon's checkpoint/resume.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) the cache directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: cache dir is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: cache dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(hash string) string {
+	return filepath.Join(st.dir, hash+entrySuffix)
+}
+
+// validHash gates file names derived from client-supplied ids: exactly
+// 64 lowercase hex characters, nothing path-like.
+func validHash(hash string) bool {
+	if len(hash) != 64 {
+		return false
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get loads and validates the entry for hash. A missing entry returns
+// ErrCacheMiss. A present-but-invalid entry (truncated write that still
+// renamed, bit rot, schema drift, hash mismatch) is evicted from disk
+// and reported as corrupt: the caller recomputes rather than serving
+// poison. The returned bool says whether an eviction happened.
+func (st *Store) Get(hash string) (*Entry, bool, error) {
+	if !validHash(hash) {
+		return nil, false, fmt.Errorf("server: invalid hash %q", hash)
+	}
+	data, err := os.ReadFile(st.path(hash))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, ErrCacheMiss
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("server: read cache entry: %w", err)
+	}
+	e := &Entry{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(e); err != nil {
+		return nil, st.evict(hash), fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	if err := e.validate(hash); err != nil {
+		return nil, st.evict(hash), err
+	}
+	return e, false, nil
+}
+
+// evict removes the entry file, reporting whether a file was deleted.
+func (st *Store) evict(hash string) bool {
+	return os.Remove(st.path(hash)) == nil
+}
+
+// Put persists the entry atomically: marshal, write to a temp file in
+// the cache directory, fsync, rename onto the final name. Readers only
+// ever see the complete entry or none at all.
+func (st *Store) Put(e *Entry) error {
+	if !validHash(e.ScenarioSHA256) {
+		return fmt.Errorf("server: invalid hash %q", e.ScenarioSHA256)
+	}
+	e.Schema = EntrySchema
+	e.PayloadSHA256 = e.payloadSum()
+	if err := e.validate(e.ScenarioSHA256); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: marshal cache entry: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(st.dir, "."+e.ScenarioSHA256+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: cache temp file: %w", err)
+	}
+	defer func() {
+		// Best-effort cleanup: on the success path the file was renamed
+		// away and both calls fail harmlessly.
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("server: write cache entry: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("server: sync cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: close cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(e.ScenarioSHA256)); err != nil {
+		return fmt.Errorf("server: commit cache entry: %w", err)
+	}
+	return nil
+}
+
+// Hashes lists the hashes of the entries currently on disk, sorted.
+// Entries are not validated here — Get validates lazily on access — so
+// startup stays O(directory listing) however large the cache is.
+func (st *Store) Hashes() ([]string, error) {
+	names, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: list cache: %w", err)
+	}
+	var hashes []string
+	for _, de := range names {
+		name := de.Name()
+		hash, ok := strings.CutSuffix(name, entrySuffix)
+		if !ok || !validHash(hash) {
+			continue
+		}
+		hashes = append(hashes, hash)
+	}
+	sort.Strings(hashes)
+	return hashes, nil
+}

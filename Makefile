@@ -1,7 +1,7 @@
 # Convenience entry points mirroring the CI gates. Each target is a
 # plain go/gofmt one-liner, so everything here also works without make.
 
-.PHONY: lint fmt test bench verify
+.PHONY: lint fmt test bench profile verify
 
 # The compile-time invariant gate: formatting plus the hybridlint
 # analyzer suite (same as CI's lint job, minus govulncheck which needs
@@ -19,6 +19,16 @@ test:
 
 bench:
 	go test -bench=. -benchtime=1x -run '^$$' .
+
+# CPU + heap profiles of the Table-I sweep, the workload behind every
+# hot-path optimization in internal/sim. Inspect with
+# `go tool pprof out/pprof/cpu.out` (then `top`, `list <func>`, `web`).
+profile:
+	mkdir -p out/pprof
+	go test -bench 'BenchmarkTable1$$' -benchtime=1x -run '^$$' \
+		-cpuprofile out/pprof/cpu.out -memprofile out/pprof/mem.out \
+		-o out/pprof/bench.test .
+	@echo "profiles written to out/pprof/ (cpu.out, mem.out; binary bench.test)"
 
 # Everything CI checks, in order.
 verify: lint test

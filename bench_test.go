@@ -17,6 +17,7 @@ import (
 
 	"hybridcap"
 	"hybridcap/internal/benchio"
+	"hybridcap/internal/cellcache"
 	"hybridcap/internal/experiments"
 	"hybridcap/internal/geom"
 	"hybridcap/internal/linkcap"
@@ -50,42 +51,117 @@ func runExperiment(b *testing.B, id string) *experiments.Result {
 
 // BenchmarkTable1 regenerates Table I (all five regime rows) and
 // reports the fitted capacity exponent of each row. It then times the
-// same sweep once at Workers=1 and once at Workers=NumCPU, fails if the
-// two runs drift by a single bit, and upserts the headline numbers
-// (wall time, cells/sec, speedup, exponents) into BENCH_sweep.json —
-// the benchmark trajectory future changes must not regress.
+// same sweep at Workers=1, 2 and NumCPU, fails if any run drifts from
+// the serial baseline by a single bit, measures a cold-vs-warm
+// cell-cache replay, and upserts the headline numbers (wall time,
+// cells/sec, speedup, allocation churn, exponents) into
+// BENCH_sweep.json — the benchmark trajectory future changes must not
+// regress.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	res := runExperiment(b, "T1")
 	for name, fit := range res.Fits {
 		b.ReportMetric(fit.Exponent, "exp:"+name)
 	}
 	b.StopTimer()
 	recordSweepTrajectory(b)
+	recordWarmCellCache(b)
 }
 
-// recordSweepTrajectory measures the serial-vs-parallel wall time of
-// the Table-I sweep through benchio.Collect and writes the record to
-// BENCH_sweep.json. Seeds=4 gives each size several equal-cost cells,
-// so a multi-core runner has parallelism to exploit at the largest
-// (dominant) size.
+// benchT1 runs the trajectory workload: the Table-I sweep at Seeds=4,
+// which gives each size several equal-cost cells so a multi-core runner
+// has parallelism to exploit at the largest (dominant) size.
+func benchT1(workers int, store *cellcache.Store) (*experiments.Result, error) {
+	return hybridcap.RunExperiment("T1", experiments.Options{
+		Quick: true, Seeds: 4, Workers: workers, CellCache: store,
+	})
+}
+
+// recordSweepTrajectory measures the Table-I sweep wall time per worker
+// count through benchio.CollectSweep and writes one record per count to
+// BENCH_sweep.json, plus the legacy headline record "BenchmarkTable1"
+// (the Workers=NumCPU row) that the CI regression gate tracks.
 func recordSweepTrajectory(b *testing.B) {
 	b.Helper()
-	rec, err := benchio.Collect(benchio.CollectConfig{
+	ncpu := runtime.NumCPU()
+	recs, err := benchio.CollectSweep(benchio.CollectConfig{
 		Name:       "BenchmarkTable1",
 		Experiment: "T1",
-		Workers:    runtime.NumCPU(),
 		Clock:      obs.ClockFunc(time.Now),
-	}, func(workers int) (*experiments.Result, error) {
-		return hybridcap.RunExperiment("T1", experiments.Options{Quick: true, Seeds: 4, Workers: workers})
+	}, []int{1, 2, ncpu}, func(workers int) (*experiments.Result, error) {
+		return benchT1(workers, nil)
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	for _, rec := range recs {
+		if err := benchio.Upsert(benchio.DefaultPath, rec); err != nil {
+			b.Fatal(err)
+		}
+		if rec.Workers == ncpu {
+			head := rec
+			head.Name = "BenchmarkTable1"
+			if err := benchio.Upsert(benchio.DefaultPath, head); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rec.Speedup, "speedupX")
+			b.ReportMetric(rec.CellsPerSec, "cells/s")
+			b.ReportMetric(rec.AllocsPerCell, "allocs/cell")
+		}
+	}
+}
+
+// recordWarmCellCache measures incremental recompute: the same Table-I
+// sweep run cold into a fresh persistent cell cache, then warm from it.
+// The warm run must replay every cell (100% hits) with byte-identical
+// results; its record carries the warm-over-cold speedup.
+func recordWarmCellCache(b *testing.B) {
+	b.Helper()
+	store, err := cellcache.NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ncpu := runtime.NumCPU()
+	t0 := time.Now()
+	coldRes, err := benchT1(ncpu, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(t0)
+	before := cellcache.ReadStats()
+	t0 = time.Now()
+	warmRes, err := benchT1(ncpu, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := time.Since(t0)
+	after := cellcache.ReadStats()
+	if err := benchio.SameResults(coldRes, warmRes); err != nil {
+		b.Fatalf("warm cell-cache run drifted: %v", err)
+	}
+	cells := benchio.CountCells(warmRes)
+	if misses := after.Misses - before.Misses; misses != 0 {
+		b.Fatalf("warm cell-cache run missed %d times, want 0", misses)
+	}
+	rec := benchio.Record{
+		Name:            "BenchmarkTable1/warm-cell-cache",
+		Experiment:      "T1",
+		Workers:         ncpu,
+		Cells:           cells,
+		WallSeconds:     warm.Seconds(),
+		SerialSeconds:   cold.Seconds(),
+		CellCacheHits:   after.Hits - before.Hits,
+		CellCacheMisses: after.Misses - before.Misses,
+		UpdatedAt:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if warm > 0 {
+		rec.CellsPerSec = float64(cells) / warm.Seconds()
+		rec.Speedup = cold.Seconds() / warm.Seconds()
+	}
 	if err := benchio.Upsert(benchio.DefaultPath, rec); err != nil {
 		b.Fatal(err)
 	}
-	b.ReportMetric(rec.Speedup, "speedupX")
-	b.ReportMetric(rec.CellsPerSec, "cells/s")
+	b.ReportMetric(rec.Speedup, "warmSpeedupX")
 }
 
 // BenchmarkFigure1 regenerates Figure 1 (density contrast of

@@ -1,0 +1,83 @@
+// Command benchgate is the benchmark regression gate: it compares a
+// freshly measured trajectory record against the committed baseline and
+// fails when throughput regressed beyond the tolerance.
+//
+//	benchgate -baseline BENCH_sweep.baseline.json -fresh BENCH_sweep.json \
+//	    -record BenchmarkTable1 -tolerance 0.20
+//
+// The gate reads the named record from both files and requires
+//
+//	fresh.cells_per_sec >= (1 - tolerance) * baseline.cells_per_sec
+//
+// A missing baseline file or a baseline record without a throughput
+// number passes trivially (first run, or a frozen-clock record): the
+// gate only bites once a real baseline exists to defend. A missing
+// fresh record is always an error — it means the benchmark did not run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridcap/internal/benchio"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed trajectory file (the perf floor to defend)")
+	freshPath := flag.String("fresh", benchio.DefaultPath, "freshly regenerated trajectory file")
+	record := flag.String("record", "BenchmarkTable1", "record name to compare")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional cells/sec drop before failing (0.20 = 20%)")
+	flag.Parse()
+
+	if err := run(*baselinePath, *freshPath, *record, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, freshPath, record string, tolerance float64) error {
+	if baselinePath == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("tolerance %v out of range [0, 1)", tolerance)
+	}
+
+	fresh, err := benchio.Read(freshPath)
+	if err != nil {
+		return err
+	}
+	freshRec, ok := fresh.Lookup(record)
+	if !ok {
+		return fmt.Errorf("record %q missing from %s: the benchmark did not run", record, freshPath)
+	}
+	if freshRec.CellsPerSec <= 0 {
+		return fmt.Errorf("record %q in %s has no cells/sec measurement", record, freshPath)
+	}
+
+	if _, err := os.Stat(baselinePath); os.IsNotExist(err) {
+		fmt.Printf("benchgate: no baseline at %s, nothing to defend; fresh %s: %.1f cells/s\n",
+			baselinePath, record, freshRec.CellsPerSec)
+		return nil
+	}
+	base, err := benchio.Read(baselinePath)
+	if err != nil {
+		return err
+	}
+	baseRec, ok := base.Lookup(record)
+	if !ok || baseRec.CellsPerSec <= 0 {
+		fmt.Printf("benchgate: baseline has no %s throughput, nothing to defend; fresh: %.1f cells/s\n",
+			record, freshRec.CellsPerSec)
+		return nil
+	}
+
+	floor := (1 - tolerance) * baseRec.CellsPerSec
+	if freshRec.CellsPerSec < floor {
+		return fmt.Errorf("%s regressed: %.1f cells/s < floor %.1f (baseline %.1f, tolerance %.0f%%)",
+			record, freshRec.CellsPerSec, floor, baseRec.CellsPerSec, tolerance*100)
+	}
+	fmt.Printf("benchgate: %s ok: %.1f cells/s >= floor %.1f (baseline %.1f, tolerance %.0f%%)\n",
+		record, freshRec.CellsPerSec, floor, baseRec.CellsPerSec, tolerance*100)
+	return nil
+}

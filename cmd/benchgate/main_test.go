@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybridcap/internal/benchio"
+)
+
+func writeTrajectory(t *testing.T, path string, cellsPerSec float64) {
+	t.Helper()
+	err := benchio.Write(path, &benchio.File{
+		Schema:  benchio.Schema,
+		Records: []benchio.Record{{Name: "BenchmarkTable1", CellsPerSec: cellsPerSec}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base, fresh := filepath.Join(dir, "base.json"), filepath.Join(dir, "fresh.json")
+	writeTrajectory(t, base, 100)
+	writeTrajectory(t, fresh, 81) // 19% drop, inside the 20% tolerance
+	if err := run(base, fresh, "BenchmarkTable1", 0.20); err != nil {
+		t.Fatalf("19%% drop at 20%% tolerance should pass: %v", err)
+	}
+}
+
+func TestGateFailsBeyondTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base, fresh := filepath.Join(dir, "base.json"), filepath.Join(dir, "fresh.json")
+	writeTrajectory(t, base, 100)
+	writeTrajectory(t, fresh, 79) // 21% drop
+	err := run(base, fresh, "BenchmarkTable1", 0.20)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("21%% drop at 20%% tolerance should fail with a regression error, got %v", err)
+	}
+}
+
+func TestGatePassesWithoutBaseline(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "fresh.json")
+	writeTrajectory(t, fresh, 50)
+	if err := run(filepath.Join(dir, "missing.json"), fresh, "BenchmarkTable1", 0.20); err != nil {
+		t.Fatalf("missing baseline should pass trivially: %v", err)
+	}
+}
+
+func TestGateRequiresFreshRecord(t *testing.T) {
+	dir := t.TempDir()
+	base, fresh := filepath.Join(dir, "base.json"), filepath.Join(dir, "fresh.json")
+	writeTrajectory(t, base, 100)
+	if err := benchio.Write(fresh, &benchio.File{Schema: benchio.Schema}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(base, fresh, "BenchmarkTable1", 0.20); err == nil {
+		t.Fatal("empty fresh trajectory must fail: the benchmark did not run")
+	}
+}

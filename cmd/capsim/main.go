@@ -18,6 +18,14 @@
 //
 //	capsim -scenario examples/scenarios/strong-mobility.json -quick
 //
+// Incremental recompute: -cell-cache DIR persists every evaluated grid
+// cell of a scenario sweep; re-running the same regime (or an edited
+// scenario sharing cells with it) replays the stored values
+// byte-identically and only computes the cells that changed. The same
+// flag under -serve shares the cell cache across daemon submissions:
+//
+//	capsim -scenario examples/scenarios/strong-mobility.json -cell-cache out/cells
+//
 // Benchmarking: -bench skips the single-instance evaluation and runs
 // the benchmark trajectory instead — the Table-I sweep timed once at
 // Workers=1 and once at -workers (0 = all CPU cores), verified for
@@ -124,6 +132,7 @@ func run(ctx context.Context) error {
 	if *daemonAddr != "" {
 		return runServe(ctx, *daemonAddr, common, server.Config{
 			CacheDir:      *cacheDir,
+			CellCacheDir:  common.CellCache,
 			MaxQueue:      *maxQueue,
 			MaxConcurrent: *maxConc,
 			RunTimeout:    *runTimeout,
@@ -373,6 +382,10 @@ func runScenarioFile(ctx context.Context, path string, c *cli.Common) error {
 	rt := c.Runtime()
 	o := c.Options()
 	o.Obs = rt
+	o.CellCache, err = c.CellStore()
+	if err != nil {
+		return err
+	}
 	res, err := experiments.RunScenario(ctx, sc, o)
 	if err != nil {
 		return err

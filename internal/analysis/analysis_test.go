@@ -47,9 +47,10 @@ func TestInScope(t *testing.T) {
 		{"nondeterminism", "hybridcap/internal/sim", true},
 		{"nondeterminism", "hybridcap/internal/experiments", true},
 		{"nondeterminism", "hybridcap/internal/asciiplot", false},
-		{"nondeterminism", "hybridcap/internal/rng", false}, // rng wraps math/rand by design
-		{"nondeterminism", "hybridcap/internal/obs", true},  // obs must take time from an injected Clock
-		{"nondeterminism", "hybridcap/internal/cli", false}, // cli constructs the wall clock for injection
+		{"nondeterminism", "hybridcap/internal/rng", false},      // rng wraps math/rand by design
+		{"nondeterminism", "hybridcap/internal/obs", true},       // obs must take time from an injected Clock
+		{"nondeterminism", "hybridcap/internal/cellcache", true}, // persisted entries must replay identically across hosts
+		{"nondeterminism", "hybridcap/internal/cli", false},      // cli constructs the wall clock for injection
 		{"nondeterminism", "hybridcap/cmd/capsim", false},
 		{"floateq", "hybridcap/internal/capacity", true},
 		{"floateq", "hybridcap/internal/scaling", true},

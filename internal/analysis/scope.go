@@ -27,7 +27,23 @@ var deterministicPkgs = map[string]bool{
 	// so all of its timekeeping must come from the injected obs.Clock;
 	// a raw time.Now would leak wall-clock into statuses and manifests.
 	"server": true,
+	// cellcache replays persisted cell results byte-identically across
+	// runs and hosts: entries carry no timestamps and keys derive only
+	// from scope + seed, so ambient clock/env/randomness reads would
+	// undermine the cache's share-a-directory-across-machines contract.
+	"cellcache": true,
 }
+
+// TODO(hotalloc): a prospective analyzer for the slot-loop hot paths in
+// internal/sim (packets.go, multihop.go, infra.go): flag `make` and
+// growing `append` expressions inside the per-slot loops, where the
+// scratch-arena discipline requires buffers to be allocated once per
+// cell and reused (see the "Slot-loop scratch" comments in those
+// files). The remaining churn is visible as allocs_per_cell in
+// BENCH_sweep.json; the analyzer would turn that trajectory metric
+// into a compile-time invariant. Needs a loop-nesting heuristic
+// (functions whose receiver carries reusable scratch fields) before it
+// can avoid false positives on per-cell setup allocations.
 
 // floatEqPkgs are the packages computing order-notation quantities
 // (capacity exponents, scaling fits, measured throughput) where exact

@@ -196,6 +196,53 @@ func (b *Backbone) AddGroupFlow(groupA, groupB []int, rate float64) error {
 	return nil
 }
 
+// GroupFlow is a compiled AddGroupFlow: the usable edges between two
+// disjoint BS groups resolved once, so repeated flows between the same
+// groups replay a flat edge list instead of rescanning the |A|x|B|
+// pair matrix per flow. It is compiled against the current fault
+// state; recompile after ApplyFaults.
+type GroupFlow struct {
+	b          *Backbone
+	edges      []int
+	lenA, lenB int
+}
+
+// CompileGroupFlow resolves the usable edges between two disjoint
+// groups, in the same scan order AddGroupFlow loads them.
+func (b *Backbone) CompileGroupFlow(groupA, groupB []int) *GroupFlow {
+	f := &GroupFlow{b: b, lenA: len(groupA), lenB: len(groupB)}
+	for _, i := range groupA {
+		for _, j := range groupB {
+			if b.EdgeUsable(i, j) {
+				f.edges = append(f.edges, b.idx(i, j))
+			}
+		}
+	}
+	return f
+}
+
+// Routable reports whether at least one usable edge connects the
+// groups — the compiled HasRoute.
+func (f *GroupFlow) Routable() bool { return len(f.edges) > 0 }
+
+// Add spreads rate uniformly over the compiled edges, exactly as
+// AddGroupFlow would on the same groups: the same per-edge share added
+// to the same edges in the same order, so accumulated loads are
+// bit-identical.
+func (f *GroupFlow) Add(rate float64) error {
+	if rate < 0 {
+		return fmt.Errorf("backbone: negative rate %g", rate)
+	}
+	if len(f.edges) == 0 {
+		return fmt.Errorf("backbone: groups (sizes %d, %d): %w", f.lenA, f.lenB, ErrNoRoute)
+	}
+	per := rate / float64(len(f.edges))
+	for _, e := range f.edges {
+		f.b.load[e] += per
+	}
+	return nil
+}
+
 // MaxLoad returns the largest per-edge load.
 func (b *Backbone) MaxLoad() float64 {
 	max := 0.0

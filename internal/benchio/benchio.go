@@ -44,6 +44,15 @@ type Record struct {
 	// deltas over the run.
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	// CellCacheHits and CellCacheMisses are the persistent cell-cache
+	// counter deltas over the run (warm-cache trajectory records).
+	CellCacheHits   uint64 `json:"cell_cache_hits,omitempty"`
+	CellCacheMisses uint64 `json:"cell_cache_misses,omitempty"`
+	// AllocsPerCell and BytesPerCell are the heap allocation count and
+	// bytes per evaluated grid cell over the parallel run (runtime
+	// MemStats deltas), the trajectory's allocation-churn axis.
+	AllocsPerCell float64 `json:"allocs_per_cell,omitempty"`
+	BytesPerCell  float64 `json:"bytes_per_cell,omitempty"`
 	// UpdatedAt is an RFC 3339 timestamp of the last upsert.
 	UpdatedAt string `json:"updated_at,omitempty"`
 }

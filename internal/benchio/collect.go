@@ -2,6 +2,7 @@ package benchio
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"hybridcap/internal/experiments"
@@ -91,6 +92,84 @@ func Collect(cfg CollectConfig, run func(workers int) (*experiments.Result, erro
 		rec.Fits[name] = fit.Exponent
 	}
 	return rec, nil
+}
+
+// CollectSweep measures the workload once per requested worker count
+// against a shared Workers=1 baseline: the serial run is timed first,
+// then each worker count is timed, checked bit-identical against the
+// baseline, and emitted as its own record named
+// "<cfg.Name>/workers=<w>". Each timed run is additionally bracketed in
+// runtime.MemStats reads, so the records carry allocation churn per
+// grid cell — the axis profile-driven optimization moves. A worker
+// count of 1 reuses the baseline measurement instead of re-running.
+func CollectSweep(cfg CollectConfig, workerCounts []int, run func(workers int) (*experiments.Result, error)) ([]Record, error) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obs.NewFrozenClock(obs.Epoch)
+	}
+	serialRes, serial, serialAllocs, serialBytes, err := timedRun(clock, 1, run)
+	if err != nil {
+		return nil, fmt.Errorf("benchio: collect %s serial: %w", cfg.Name, err)
+	}
+	cells := CountCells(serialRes)
+	var recs []Record
+	seen := map[int]bool{}
+	for _, w := range workerCounts {
+		if w <= 0 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		wall, allocs, bytes := serial, serialAllocs, serialBytes
+		if w != 1 {
+			res, d, a, bts, err := timedRun(clock, w, run)
+			if err != nil {
+				return nil, fmt.Errorf("benchio: collect %s workers=%d: %w", cfg.Name, w, err)
+			}
+			if err := SameResults(serialRes, res); err != nil {
+				return nil, fmt.Errorf("benchio: collect %s workers=%d: %w", cfg.Name, w, err)
+			}
+			wall, allocs, bytes = d, a, bts
+		}
+		rec := Record{
+			Name:          fmt.Sprintf("%s/workers=%d", cfg.Name, w),
+			Experiment:    cfg.Experiment,
+			Workers:       w,
+			Cells:         cells,
+			WallSeconds:   wall.Seconds(),
+			SerialSeconds: serial.Seconds(),
+			Fits:          map[string]float64{},
+			UpdatedAt:     clock.Now().UTC().Format(time.RFC3339),
+		}
+		if wall > 0 {
+			rec.CellsPerSec = float64(cells) / wall.Seconds()
+			rec.Speedup = serial.Seconds() / wall.Seconds()
+		}
+		if cells > 0 {
+			rec.AllocsPerCell = float64(allocs) / float64(cells)
+			rec.BytesPerCell = float64(bytes) / float64(cells)
+		}
+		for name, fit := range serialRes.Fits {
+			rec.Fits[name] = fit.Exponent
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// timedRun times one workload run and returns its MemStats allocation
+// deltas. The deltas are process-wide, so concurrent unrelated
+// allocation pollutes them; benchmarks run the workload alone.
+func timedRun(clock obs.Clock, workers int, run func(workers int) (*experiments.Result, error)) (*experiments.Result, time.Duration, uint64, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := clock.Now()
+	res, err := run(workers)
+	wall := clock.Now().Sub(t0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return res, wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
 }
 
 // CountCells sums the evaluation attempts behind every series point:

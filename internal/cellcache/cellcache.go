@@ -1,0 +1,311 @@
+// Package cellcache is the persistent cell-result cache behind
+// incremental sweeps: one JSON entry file per evaluated grid cell,
+// keyed by the cell's full identity — the canonical scenario scope
+// reduced to the dimensions the cell's value depends on, the grid
+// point, and the seed index. Because the engine pre-derives per-cell
+// seeds and merges in grid order, a cell's value is a pure function of
+// that key, so replaying a stored value is byte-identical to
+// recomputing it: editing one dimension of a regime re-runs only the
+// cells whose scope changed.
+//
+// Entries follow the same envelope discipline as the server's run
+// cache: schema-versioned JSON, content-addressed filenames, a payload
+// checksum detecting truncation and bit rot independently of the JSON
+// framing, atomic temp-file+fsync+rename writes, and
+// evict-on-corruption so a damaged entry is recomputed instead of
+// served.
+package cellcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"hybridcap/internal/obs"
+)
+
+// EntrySchema is the current cache-entry file schema version. Bumping
+// it invalidates every existing entry: old files fail validation, are
+// evicted, and their cells recompute.
+const EntrySchema = 1
+
+// entrySuffix is the filename suffix of one cell entry; the prefix is
+// the cell's key hash, so the directory listing IS the index.
+const entrySuffix = ".cell.json"
+
+// ErrMiss reports that no (valid) entry exists for a key.
+var ErrMiss = errors.New("cellcache: miss")
+
+// errCorrupt tags an entry that exists on disk but failed validation;
+// the store evicts it so the caller recomputes instead of serving
+// poison.
+var errCorrupt = errors.New("cellcache: corrupt entry")
+
+// The cache counters live in the process-default obs registry, so a
+// -metrics-out dump carries them alongside the engine metrics, and a
+// warm re-run can prove its 100% hit rate from the dump alone.
+var (
+	cacheHits      = obs.Default().Counter("cellcache_hits_total")
+	cacheMisses    = obs.Default().Counter("cellcache_misses_total")
+	cachePuts      = obs.Default().Counter("cellcache_puts_total")
+	cacheEvictions = obs.Default().Counter("cellcache_evictions_total")
+)
+
+// Stats is a snapshot of the process-wide cell-cache counters.
+type Stats struct {
+	// Hits counts lookups served from a valid stored entry.
+	Hits uint64
+	// Misses counts lookups that found no (valid) entry.
+	Misses uint64
+	// Puts counts entries persisted.
+	Puts uint64
+	// Evictions counts corrupt entries removed on access.
+	Evictions uint64
+}
+
+// ReadStats returns the current counters. Deltas between two snapshots
+// measure the cache behavior of an enclosed workload.
+func ReadStats() Stats {
+	return Stats{
+		Hits:      cacheHits.Value(),
+		Misses:    cacheMisses.Value(),
+		Puts:      cachePuts.Value(),
+		Evictions: cacheEvictions.Value(),
+	}
+}
+
+// Key derives the content address of one cell: the hex SHA-256 over
+// the canonical scope bytes, the grid point value and the cell's
+// derived seed, NUL-separated. The scope must be a canonical
+// (deterministic) encoding of every scenario dimension the cell's
+// value depends on. The seed is the derived per-cell seed VALUE, not
+// the seed index: a change to the seed-derivation chain then misses
+// naturally instead of replaying a stale instance.
+func Key(scope []byte, point int, seed uint64) string {
+	h := sha256.New()
+	// hash.Hash writers are documented never to fail.
+	_, _ = h.Write(scope)
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(strconv.Itoa(point)))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(strconv.FormatUint(seed, 10)))
+	_, _ = h.Write([]byte{0})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry is one cached cell result: the scope and coordinates that
+// produced it plus the value, self-describing enough to re-derive and
+// verify its own key.
+type Entry struct {
+	// Schema is the entry file schema version.
+	Schema int `json:"schema"`
+	// Key is the content address: Key(Scope, Point, Seed).
+	Key string `json:"key"`
+	// Scope is the canonical scope the cell was evaluated under.
+	Scope string `json:"scope"`
+	// Point is the grid point value (the network size n for sweeps).
+	Point int `json:"point"`
+	// Seed is the derived per-cell seed the instance was built from.
+	Seed uint64 `json:"seed"`
+	// Value is the cell's result. JSON round-trips float64 exactly
+	// (Go emits the shortest representation that parses back to the
+	// same bits), so a replayed value is bit-identical.
+	Value float64 `json:"value"`
+	// PayloadSHA256 is the hex SHA-256 over Scope, Point, Seed and the
+	// value's IEEE-754 bits (NUL-separated), detecting truncated or
+	// bit-rotted entries independently of the JSON framing.
+	PayloadSHA256 string `json:"payload_sha256"`
+}
+
+// payloadSum checksums the entry's payload fields. The value is hashed
+// by its bit pattern, so the checksum is exact where a decimal
+// rendering could alias.
+func (e *Entry) payloadSum() string {
+	h := sha256.New()
+	for _, s := range []string{
+		e.Scope,
+		strconv.Itoa(e.Point),
+		strconv.FormatUint(e.Seed, 10),
+		strconv.FormatUint(math.Float64bits(e.Value), 16),
+	} {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// validate checks the entry's framing, self-address and checksum
+// against the key it was loaded under.
+func (e *Entry) validate(key string) error {
+	if e.Schema != EntrySchema {
+		return fmt.Errorf("%w: schema %d, want %d", errCorrupt, e.Schema, EntrySchema)
+	}
+	if e.Key != key {
+		return fmt.Errorf("%w: entry addressed %s claims key %s", errCorrupt, key, e.Key)
+	}
+	if Key([]byte(e.Scope), e.Point, e.Seed) != key {
+		return fmt.Errorf("%w: stored cell does not hash to %s", errCorrupt, key)
+	}
+	if e.payloadSum() != e.PayloadSHA256 {
+		return fmt.Errorf("%w: payload checksum mismatch", errCorrupt)
+	}
+	return nil
+}
+
+// Store is the on-disk cell cache: one entry file per cell key,
+// written atomically (temp file + fsync + rename in the same
+// directory), so a crash mid-write can never leave a half-visible
+// entry. Concurrent readers and writers are safe: distinct cells live
+// in distinct files, and the same cell written twice renames the same
+// bytes into place.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) the cache directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cellcache: dir is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellcache: dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(key string) string {
+	return filepath.Join(st.dir, key+entrySuffix)
+}
+
+// validKey gates file names: exactly 64 lowercase hex characters,
+// nothing path-like.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get loads and validates the entry for key. A missing entry returns
+// ErrMiss. A present-but-invalid entry (truncated write that still
+// renamed, bit rot, schema drift, key mismatch) is evicted from disk
+// and reported as corrupt: the caller recomputes rather than replaying
+// poison. The returned bool says whether an eviction happened.
+func (st *Store) Get(key string) (*Entry, bool, error) {
+	if !validKey(key) {
+		return nil, false, fmt.Errorf("cellcache: invalid key %q", key)
+	}
+	data, err := os.ReadFile(st.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		cacheMisses.Inc()
+		return nil, false, ErrMiss
+	}
+	if err != nil {
+		cacheMisses.Inc()
+		return nil, false, fmt.Errorf("cellcache: read entry: %w", err)
+	}
+	e := &Entry{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(e); err != nil {
+		cacheMisses.Inc()
+		return nil, st.evict(key), fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	if err := e.validate(key); err != nil {
+		cacheMisses.Inc()
+		return nil, st.evict(key), err
+	}
+	cacheHits.Inc()
+	return e, false, nil
+}
+
+// evict removes the entry file, reporting whether a file was deleted.
+func (st *Store) evict(key string) bool {
+	if os.Remove(st.path(key)) == nil {
+		cacheEvictions.Inc()
+		return true
+	}
+	return false
+}
+
+// Put persists one cell value atomically under Key(scope, point,
+// seed): marshal, write to a temp file in the cache directory, fsync,
+// rename onto the final name. Readers only ever see a complete entry
+// or none at all. Non-finite values are rejected — NaN and ±Inf do not
+// survive a JSON round trip, and a cell producing one should recompute
+// (and re-fail) rather than replay.
+func (st *Store) Put(scope []byte, point int, seed uint64, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("cellcache: non-finite value %v is not cacheable", value)
+	}
+	e := &Entry{
+		Schema: EntrySchema,
+		Key:    Key(scope, point, seed),
+		Scope:  string(scope),
+		Point:  point,
+		Seed:   seed,
+		Value:  value,
+	}
+	e.PayloadSHA256 = e.payloadSum()
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cellcache: marshal entry: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(st.dir, "."+e.Key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cellcache: temp file: %w", err)
+	}
+	defer func() {
+		// Best-effort cleanup: on the success path the file was renamed
+		// away and both calls fail harmlessly.
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("cellcache: write entry: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("cellcache: sync entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cellcache: close entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(e.Key)); err != nil {
+		return fmt.Errorf("cellcache: commit entry: %w", err)
+	}
+	cachePuts.Inc()
+	return nil
+}
+
+// Len returns the number of entry files currently on disk (corrupt or
+// not; Get validates lazily on access).
+func (st *Store) Len() (int, error) {
+	names, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, fmt.Errorf("cellcache: list: %w", err)
+	}
+	n := 0
+	for _, de := range names {
+		name := de.Name()
+		if len(name) == 64+len(entrySuffix) && name[64:] == entrySuffix && validKey(name[:64]) {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"time"
 
+	"hybridcap/internal/cellcache"
 	"hybridcap/internal/experiments"
 	"hybridcap/internal/obs"
 )
@@ -34,6 +35,11 @@ type Common struct {
 	// epoch, making -metrics-out and -trace-out byte-reproducible across
 	// runs and worker counts.
 	FrozenClock bool
+	// CellCache is the persistent cell-result cache directory; empty
+	// disables cell caching. Scenario-sweep cells replay across runs
+	// with byte-identical results (see EXPERIMENTS.md "Incremental
+	// recompute").
+	CellCache string
 }
 
 // Bind registers the shared flags on fs and returns the destination
@@ -47,12 +53,21 @@ func Bind(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write the run's metrics registry (Prometheus text format) to this file")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write the run's span tree (JSON) to this file")
 	fs.BoolVar(&c.FrozenClock, "frozen-clock", false, "freeze observability timestamps at a fixed epoch (byte-reproducible -metrics-out/-trace-out)")
+	fs.StringVar(&c.CellCache, "cell-cache", "", "persistent cell-result cache directory: scenario sweep cells replay across runs, byte-identically (empty = off)")
 	return c
 }
 
 // Options converts the parsed flags into experiment options.
 func (c *Common) Options() experiments.Options {
 	return experiments.Options{Quick: c.Quick, Seeds: c.Seeds, Workers: c.Workers}
+}
+
+// CellStore opens the -cell-cache store, nil when the flag is unset.
+func (c *Common) CellStore() (*cellcache.Store, error) {
+	if c.CellCache == "" {
+		return nil, nil
+	}
+	return cellcache.NewStore(c.CellCache)
 }
 
 // Clock returns the observability clock the flags select: frozen at

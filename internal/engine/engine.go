@@ -186,6 +186,28 @@ type CellObserver interface {
 	ObserveCell(point, seed int, d time.Duration, err error)
 }
 
+// CachedCellObserver is the optional CellObserver extension for
+// cache-aware sinks: ObserveCachedCell fires for every cell whose value
+// was replayed from the grid's CellCache, immediately after that cell's
+// ObserveCell, still in grid order.
+type CachedCellObserver interface {
+	CellObserver
+	ObserveCachedCell(point, seed int)
+}
+
+// CellCache memoizes cell values across runs. The engine consults it
+// before evaluating a cell and stores every freshly computed success;
+// the cache must return values byte-identical to re-evaluation (it is
+// keyed outside the engine on everything the cell depends on), so a
+// warm grid merges exactly like a cold one. Implementations are called
+// from worker goroutines and must be safe for concurrent use; a miss is
+// (nil, false), and Put is best-effort (a cache that cannot persist
+// simply forgets).
+type CellCache interface {
+	Get(point, seed int) (any, bool)
+	Put(point, seed int, v any)
+}
+
 // Grid describes a points x seeds evaluation grid.
 type Grid struct {
 	// Points and Seeds span the grid; every (point, seed) coordinate is
@@ -206,6 +228,14 @@ type Grid struct {
 	Obs CellObserver
 	// Clock times cells for Obs. It is only consulted when Obs is set.
 	Clock Clock
+	// Cache, if set, memoizes cell values across runs: a hit replays the
+	// stored value without evaluating (and without timing — a replayed
+	// cell reports zero duration), a fresh success is stored back. The
+	// cache owns its keying; values must round-trip bit-identically for
+	// the warm grid to merge byte-equal to a cold one. If Obs implements
+	// CachedCellObserver it additionally learns which cells were
+	// replayed.
+	Cache CellCache
 }
 
 // Run evaluates cell over every grid coordinate and returns the
@@ -233,8 +263,29 @@ func Run[T any](ctx context.Context, g Grid, cell func(point, seed int) (T, erro
 			return v, err
 		}
 	}
+	var fromCache []bool
+	eval := timed
+	if g.Cache != nil {
+		// A hit bypasses evaluation (and timing: replayed cells report
+		// zero duration); like durations, each worker writes only its own
+		// fromCache slot.
+		fromCache = make([]bool, n)
+		eval = func(point, seed int) (T, error) {
+			if raw, ok := g.Cache.Get(point, seed); ok {
+				if v, ok := raw.(T); ok {
+					fromCache[point*g.Seeds+seed] = true
+					return v, nil
+				}
+			}
+			v, err := timed(point, seed)
+			if err == nil {
+				g.Cache.Put(point, seed, v)
+			}
+			return v, err
+		}
+	}
 	flat := Map(ctx, g.Workers, n, func(i int) (T, error) {
-		return timed(i/g.Seeds, i%g.Seeds)
+		return eval(i/g.Seeds, i%g.Seeds)
 	})
 	outs := make([][]Outcome[T], g.Points)
 	for p := range outs {
@@ -248,6 +299,7 @@ func Run[T any](ctx context.Context, g Grid, cell func(point, seed int) (T, erro
 		}
 	}
 	if g.Obs != nil {
+		cobs, _ := g.Obs.(CachedCellObserver)
 		for p := 0; p < g.Points; p++ {
 			for s := 0; s < g.Seeds; s++ {
 				var d time.Duration
@@ -255,6 +307,9 @@ func Run[T any](ctx context.Context, g Grid, cell func(point, seed int) (T, erro
 					d = durations[p*g.Seeds+s]
 				}
 				g.Obs.ObserveCell(p, s, d, outs[p][s].Err)
+				if cobs != nil && fromCache != nil && fromCache[p*g.Seeds+s] {
+					cobs.ObserveCachedCell(p, s)
+				}
 			}
 		}
 	}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hybridcap/internal/cellcache"
+	"hybridcap/internal/obs"
+)
+
+// manifestBytes marshals a manifest with its two non-result fields
+// normalized: the mobility kernel-cache delta (process-global, so the
+// per-run delta depends on which tests ran earlier in the process) and
+// the recorded worker count (bookkeeping for perf attribution; results
+// are worker-independent by construction).
+func manifestBytes(t *testing.T, m *obs.Manifest) string {
+	t.Helper()
+	c := *m
+	c.Cache = obs.CacheDelta{}
+	c.Workers = 0
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("marshal manifest: %v", err)
+	}
+	return string(data)
+}
+
+// The persistent cell cache must be invisible in the output: for every
+// worker count, a cold cached run and a warm cached run must render the
+// exact report bytes of an uncached run, and the warm run must replay
+// every cell instead of recomputing.
+func TestCellCacheByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScenario()
+	base, err := RunScenario(context.Background(), sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("uncached run: %v", err)
+	}
+	want := base.Text()
+	wantManifest := manifestBytes(t, base.Manifest)
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			store, err := cellcache.NewStore(t.TempDir())
+			if err != nil {
+				t.Fatalf("NewStore: %v", err)
+			}
+			o := Options{Workers: workers, CellCache: store}
+
+			cold, err := RunScenario(context.Background(), sc, o)
+			if err != nil {
+				t.Fatalf("cold run: %v", err)
+			}
+			if cold.Text() != want {
+				t.Errorf("cold cached report differs from uncached:\n--- want\n%s\n--- got\n%s", want, cold.Text())
+			}
+			coldManifest := manifestBytes(t, cold.Manifest)
+			if coldManifest != wantManifest {
+				t.Errorf("cold cached manifest differs from uncached:\n--- want\n%s\n--- got\n%s", wantManifest, coldManifest)
+			}
+			cells := 0
+			for _, p := range cold.Manifest.Phases {
+				cells += p.Cells
+			}
+			if n, err := store.Len(); err != nil || n != cells {
+				t.Fatalf("cold run persisted %d entries (%v), want %d", n, err, cells)
+			}
+
+			warm, err := RunScenario(context.Background(), sc, o)
+			if err != nil {
+				t.Fatalf("warm run: %v", err)
+			}
+			if warm.Text() != want {
+				t.Errorf("warm cached report differs from uncached:\n--- want\n%s\n--- got\n%s", want, warm.Text())
+			}
+			// The warm manifest differs from the cold one in exactly one
+			// way: every successful cell is tallied as cached.
+			total := warm.Manifest.Total()
+			if total.Cached != total.OK || total.Cached != cells {
+				t.Errorf("warm run replayed %d/%d cells (ok %d)", total.Cached, cells, total.OK)
+			}
+		})
+	}
+}
+
+// Editing a scenario dimension outside the cell scope (grid shape,
+// description, fit) must keep its untouched cells; editing a scoped
+// dimension must miss.
+func TestCellCacheScopeSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	store, err := cellcache.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	o := Options{Workers: 2, CellCache: store}
+	if _, err := RunScenario(context.Background(), tinyScenario(), o); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	seeded, err := store.Len()
+	if err != nil || seeded == 0 {
+		t.Fatalf("seed run stored %d entries (%v)", seeded, err)
+	}
+
+	// A scenario sharing a prefix of the size grid replays those cells.
+	shrunk := tinyScenario()
+	shrunk.Sizes = shrunk.Sizes[:2]
+	shrunk.Description = "edited presentation"
+	shrunk.Fit = false
+	res, err := RunScenario(context.Background(), shrunk, o)
+	if err != nil {
+		t.Fatalf("shrunk run: %v", err)
+	}
+	if total := res.Manifest.Total(); total.Cached != total.Cells {
+		t.Errorf("shrunk grid replayed %d/%d cells; scope leaked a non-cell dimension", total.Cached, total.Cells)
+	}
+
+	// Changing a scoped dimension (the scheme set) must recompute.
+	edited := tinyScenario()
+	edited.Schemes = []string{"gridMultihop"}
+	res, err = RunScenario(context.Background(), edited, o)
+	if err != nil {
+		t.Fatalf("edited run: %v", err)
+	}
+	if total := res.Manifest.Total(); total.Cached != 0 {
+		t.Errorf("edited scheme set replayed %d cells; stale hits", total.Cached)
+	}
+}

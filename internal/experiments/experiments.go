@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"hybridcap/internal/cellcache"
 	"hybridcap/internal/faults"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/network"
@@ -78,6 +79,14 @@ type Options struct {
 	// context error instead of returning partial data. Nil never
 	// cancels.
 	Ctx context.Context
+	// CellCache, if set, memoizes scenario-sweep cell values on disk:
+	// cells keyed by (canonical cell scope, size, derived seed) replay
+	// from the store instead of re-evaluating, and fresh successes are
+	// stored back. Only declarative scenario sweeps participate (their
+	// scope captures everything the cell depends on); cached results
+	// are byte-identical to recomputation, warm or cold, for every
+	// worker count.
+	CellCache *cellcache.Store
 }
 
 func (o Options) ctx() context.Context {

@@ -87,6 +87,16 @@ func (s *cellSink) ObserveCell(point, seed int, d time.Duration, err error) {
 	}
 }
 
+// ObserveCachedCell implements engine.CachedCellObserver: the engine
+// calls it (in grid order, right after the cell's ObserveCell) for
+// every cell replayed from the persistent cell cache.
+func (s *cellSink) ObserveCachedCell(point, seed int) {
+	// Created lazily so cache-less runs render the exact same metrics
+	// text as before the cell cache existed.
+	s.rt.Metrics.Counter("engine_cells_cached_total").Inc()
+	s.tally.Cached++
+}
+
 // finish pushes the accumulated tally into the runtime.
 func (s *cellSink) finish() {
 	s.rt.AddTally(s.tally)

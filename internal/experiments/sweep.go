@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"hybridcap/internal/cellcache"
 	"hybridcap/internal/engine"
 	"hybridcap/internal/faults"
 	"hybridcap/internal/measure"
@@ -129,12 +130,19 @@ func runCell(c sweepCell, placement network.BSPlacement, fc *faults.Config, eval
 // OK/Attempts counters. Only a point losing every seed aborts the
 // sweep, reporting the point's first failure by seed order.
 func sweepLambda(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, eval evalFn) (*measure.Series, error) {
-	return sweepLambdaWith(o, name, sizes, base, placement, nil, eval)
+	return sweepLambdaWith(o, name, sizes, base, placement, nil, nil, eval)
 }
 
+// scopeFn renders the canonical cell-cache scope of one grid point
+// (network size). Nil means the sweep's cells have no declarative
+// scope and must not be cached.
+type scopeFn func(n int) ([]byte, error)
+
 // sweepLambdaWith is sweepLambda with an optional fault plan installed
-// into every instance of the grid (the declarative scenario path).
-func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, fc *faults.Config, eval evalFn) (*measure.Series, error) {
+// into every instance of the grid and an optional cell-cache scope (the
+// declarative scenario path; bespoke eval closures pass a nil scope and
+// stay uncached, since nothing canonical describes them).
+func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, fc *faults.Config, scope scopeFn, eval evalFn) (*measure.Series, error) {
 	seeds := o.seeds()
 	src := rng.New(0xE).Derive("sweep").Derive(name)
 	cells := make([]sweepCell, 0, len(sizes)*seeds)
@@ -154,6 +162,13 @@ func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, p
 	// so the published stream is identical for every worker count.
 	ctx := o.ctx()
 	g := engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()}
+	if o.CellCache != nil && scope != nil {
+		cache, err := newSweepCellCache(o.CellCache, scope, sizes, seeds, cells)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		g.Cache = cache
+	}
 	finish := observeGrid(o, "sweep "+name, &g, sizes)
 	outs := engine.Run(ctx, g,
 		func(point, seed int) (float64, error) {
@@ -188,5 +203,52 @@ func sweepScenario(o Options, sc *scenario.Scenario, sizes []int) (*measure.Seri
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scenario %s: %w", sc.Name, err)
 	}
-	return sweepLambdaWith(o, sc.Name, sizes, sc.Base.Params(0), placement, sc.FaultConfig(), scenarioEval(sc.Schemes))
+	return sweepLambdaWith(o, sc.Name, sizes, sc.Base.Params(0), placement, sc.FaultConfig(), sc.CellScope, scenarioEval(sc.Schemes))
+}
+
+// sweepCellCache adapts the persistent cell store to the engine's
+// CellCache: grid coordinates map to (scope, n, derived seed) keys, so
+// a cell hits if and only if the exact same instance would be rebuilt.
+// Gets and Puts run on worker goroutines; the adapter's state is
+// read-only after construction and the store is concurrency-safe.
+type sweepCellCache struct {
+	store  *cellcache.Store
+	scopes [][]byte // per point
+	sizes  []int
+	cells  []sweepCell
+	seeds  int
+}
+
+// newSweepCellCache precomputes the per-point scopes for a sweep.
+func newSweepCellCache(store *cellcache.Store, scope scopeFn, sizes []int, seeds int, cells []sweepCell) (*sweepCellCache, error) {
+	scopes := make([][]byte, len(sizes))
+	for i, n := range sizes {
+		b, err := scope(n)
+		if err != nil {
+			return nil, err
+		}
+		scopes[i] = b
+	}
+	return &sweepCellCache{store: store, scopes: scopes, sizes: sizes, cells: cells, seeds: seeds}, nil
+}
+
+// Get implements engine.CellCache. Every store failure — miss, I/O
+// error, corruption (evicted on the spot) — degrades to a recompute.
+func (c *sweepCellCache) Get(point, seed int) (any, bool) {
+	key := cellcache.Key(c.scopes[point], c.sizes[point], c.cells[point*c.seeds+seed].seed)
+	e, _, err := c.store.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// Put implements engine.CellCache. Persistence is best-effort: a full
+// disk or non-finite value loses the entry, never the run.
+func (c *sweepCellCache) Put(point, seed int, v any) {
+	val, ok := v.(float64)
+	if !ok {
+		return
+	}
+	_ = c.store.Put(c.scopes[point], c.sizes[point], c.cells[point*c.seeds+seed].seed, val)
 }

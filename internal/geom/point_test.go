@@ -171,3 +171,48 @@ func TestPtWraps(t *testing.T) {
 		t.Errorf("Pt(1.25,-0.25) = %v, want (0.25, 0.75)", p)
 	}
 }
+
+// DeltaUnit promises bit-identity with Delta on coordinates honoring
+// the [0,1) Point invariant — the contract that lets the hot brute-force
+// scans in spatial and sim swap one for the other without perturbing a
+// single report byte.
+func TestDeltaUnitMatchesDelta(t *testing.T) {
+	check := func(a, b float64) {
+		want := Delta(a, b)
+		got := DeltaUnit(a, b)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("DeltaUnit(%v, %v) = %v (bits %x), Delta = %v (bits %x)",
+				a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	// Exact half-way ties: Delta rounds ±0.5 away from zero and then
+	// clamps; DeltaUnit must land on the same representative.
+	ties := [][2]float64{
+		{0, 0.5}, {0.5, 0}, {0.25, 0.75}, {0.75, 0.25},
+		{0.1, 0.6}, {0.6, 0.1},
+	}
+	for _, c := range ties {
+		check(c[0], c[1])
+	}
+	// Degenerate and boundary pairs.
+	for _, c := range [][2]float64{{0, 0}, {0, math.Nextafter(1, 0)}, {math.Nextafter(1, 0), 0}, {0.5, 0.5}} {
+		check(c[0], c[1])
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		check(rng.Float64(), rng.Float64())
+	}
+}
+
+// Dist2Unit inherits the same bit-identity promise componentwise.
+func TestDist2UnitMatchesDist2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		a := Point{rng.Float64(), rng.Float64()}
+		b := Point{rng.Float64(), rng.Float64()}
+		want, got := Dist2(a, b), Dist2Unit(a, b)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Dist2Unit(%v, %v) = %v, Dist2 = %v", a, b, got, want)
+		}
+	}
+}

@@ -136,9 +136,16 @@ type Sampler struct {
 	radii  []float64 // table of radii
 	cdf    []float64 // cumulative integral of s(rho)*rho, normalized
 	mass   float64   // integral of s(|x|) over the plane
+	// guide[g] is the first cdf index >= g/samplerGuideSize: a
+	// precomputed coarse inverse of the CDF that narrows SampleRadius's
+	// binary search from the full table to a few entries.
+	guide []int32
 }
 
-const samplerTableSize = 2048
+const (
+	samplerTableSize = 2048
+	samplerGuideSize = 512
+)
 
 // NewSampler builds a sampler for the kernel. Malformed kernels —
 // non-positive support or zero total mass (an all-zero density is not a
@@ -175,6 +182,10 @@ func NewSampler(k Kernel) (*Sampler, error) {
 		s.cdf[i] /= acc
 	}
 	s.mass = 2 * math.Pi * acc
+	s.guide = make([]int32, samplerGuideSize+1)
+	for g := range s.guide {
+		s.guide[g] = int32(sort.SearchFloat64s(s.cdf, float64(g)/samplerGuideSize))
+	}
 	return s, nil
 }
 
@@ -193,7 +204,22 @@ func (s *Sampler) NormDensity(d float64) float64 {
 // SampleRadius draws a radius from the radial marginal.
 func (s *Sampler) SampleRadius(rng *rand.Rand) float64 {
 	u := rng.Float64()
-	i := sort.SearchFloat64s(s.cdf, u)
+	// The guide table brackets the search to the few entries around u's
+	// bucket. The bracket is validated with two O(1) comparisons and the
+	// search falls back to the full table when float rounding at a
+	// bucket boundary invalidates it, so the index found is always
+	// exactly the full-table SearchFloat64s result.
+	var i int
+	g := int(u * samplerGuideSize)
+	if g >= samplerGuideSize {
+		g = samplerGuideSize - 1
+	}
+	lo, hi := int(s.guide[g]), int(s.guide[g+1])
+	if (lo > 0 && s.cdf[lo-1] >= u) || s.cdf[hi] < u {
+		i = sort.SearchFloat64s(s.cdf, u)
+	} else {
+		i = lo + sort.SearchFloat64s(s.cdf[lo:hi+1], u)
+	}
 	if i == 0 {
 		return 0
 	}

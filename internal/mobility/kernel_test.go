@@ -3,6 +3,7 @@ package mobility
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"hybridcap/internal/rng"
@@ -169,5 +170,49 @@ func TestDefaultKernel(t *testing.T) {
 	k := DefaultKernel()
 	if k.Support() != 1 {
 		t.Errorf("default kernel support = %v", k.Support())
+	}
+}
+
+// The guide table is a pure accelerator: for every u the bracketed
+// search in SampleRadius must land on exactly the index a full
+// sort.SearchFloat64s over the cdf would return. This drives the same
+// index computation as SampleRadius over random draws plus every guide
+// bucket boundary, where float rounding makes the bracket most fragile.
+func TestSamplerGuideMatchesFullSearch(t *testing.T) {
+	for _, k := range kernels() {
+		s, err := NewSampler(k)
+		if err != nil {
+			t.Fatalf("NewSampler(%s): %v", k.Name(), err)
+		}
+		check := func(u float64) {
+			if u < 0 || u >= 1 {
+				return
+			}
+			want := sort.SearchFloat64s(s.cdf, u)
+			g := int(u * samplerGuideSize)
+			if g >= samplerGuideSize {
+				g = samplerGuideSize - 1
+			}
+			lo, hi := int(s.guide[g]), int(s.guide[g+1])
+			var got int
+			if (lo > 0 && s.cdf[lo-1] >= u) || s.cdf[hi] < u {
+				got = sort.SearchFloat64s(s.cdf, u)
+			} else {
+				got = lo + sort.SearchFloat64s(s.cdf[lo:hi+1], u)
+			}
+			if got != want {
+				t.Fatalf("%s: guide search at u=%v: got index %d, full search %d", k.Name(), u, got, want)
+			}
+		}
+		for g := 0; g <= samplerGuideSize; g++ {
+			u := float64(g) / samplerGuideSize
+			check(math.Nextafter(u, 0))
+			check(u)
+			check(math.Nextafter(u, 2))
+		}
+		r := rand.New(rand.NewSource(13))
+		for i := 0; i < 20000; i++ {
+			check(r.Float64())
+		}
 	}
 }

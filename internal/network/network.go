@@ -287,7 +287,7 @@ func (nw *Network) assignBSClusters() {
 	for j, y := range nw.BSPos {
 		best, bestD := 0, math.Inf(1)
 		for c, ctr := range nw.Placement.ClusterCenters {
-			if d := geom.Dist2(y, ctr); d < bestD {
+			if d := geom.Dist2Unit(y, ctr); d < bestD {
 				best, bestD = c, d
 			}
 		}

@@ -33,6 +33,11 @@ type PhaseTally struct {
 	// shutdown). Omitted from the JSON when zero, so uncanceled
 	// manifests are unchanged byte for byte.
 	Canceled int `json:"canceled,omitempty"`
+	// Cached counts successful cells whose value was replayed from the
+	// persistent cell cache instead of evaluated (a subset of OK).
+	// Omitted when zero, so cold-run manifests are unchanged byte for
+	// byte.
+	Cached int `json:"cached,omitempty"`
 }
 
 // CacheDelta is the mobility kernel-cache activity over a run.
@@ -82,6 +87,7 @@ func (m *Manifest) Total() PhaseTally {
 		t.ConstructFailed += p.ConstructFailed
 		t.EvaluateFailed += p.EvaluateFailed
 		t.Canceled += p.Canceled
+		t.Cached += p.Cached
 	}
 	return t
 }

@@ -1,0 +1,124 @@
+package rng
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// rngMask mirrors math/rand's lagged-Fibonacci output mask: the
+// generator's Int63 is its raw Uint64 step masked to 63 bits, so a
+// memoized Uint64 step stream reproduces both accessors exactly.
+const rngMask = 1<<63 - 1
+
+// maxTapes bounds the process-wide tape cache. Tapes are meant for
+// sources whose derived state is a program constant (a handful per
+// process); past the cap TapeRand degrades to the plain Rand path so a
+// misuse with per-cell seeds cannot grow memory without bound.
+const maxTapes = 256
+
+// tape memoizes the output stream of one seeded math/rand source. The
+// master source is advanced at most once per position ever; every
+// consumer replays the shared prefix. Extension is serialized by the
+// mutex; published snapshots are immutable (append-only backing), so
+// readers never race writers.
+type tape struct {
+	mu   sync.Mutex
+	src  rand.Source64
+	vals []uint64
+	// snap atomically publishes the filled prefix for lock-free reads.
+	snap atomic.Value // []uint64
+}
+
+// extendTo grows the tape to at least n values and returns the current
+// snapshot.
+func (t *tape) extendTo(n int) []uint64 {
+	t.mu.Lock()
+	for len(t.vals) < n {
+		t.vals = append(t.vals, t.src.Uint64())
+	}
+	vals := t.vals
+	t.snap.Store(vals)
+	t.mu.Unlock()
+	return vals
+}
+
+var (
+	tapes     sync.Map // uint64 state -> *tape
+	tapeCount atomic.Int64
+)
+
+// replaySource replays a tape from position 0. It implements
+// rand.Source64, producing exactly the stream of
+// rand.NewSource(seed).(rand.Source64) — each call consumes one step,
+// as in math/rand's own generator — without paying the generator's
+// expensive seeding per instantiation.
+type replaySource struct {
+	t    *tape
+	vals []uint64
+	i    int
+}
+
+func (r *replaySource) next() uint64 {
+	if r.i >= len(r.vals) {
+		r.vals = r.t.extendTo(r.i + 64)
+	}
+	v := r.vals[r.i]
+	r.i++
+	return v
+}
+
+// Uint64 implements rand.Source64.
+func (r *replaySource) Uint64() uint64 { return r.next() }
+
+// Int63 implements rand.Source.
+func (r *replaySource) Int63() int64 { return int64(r.next() & rngMask) }
+
+// Seed implements rand.Source. Consumers of derived streams never
+// reseed; if one does, the replay restarts from the tape's origin only
+// when the seed matches, otherwise it detaches onto a private source.
+func (r *replaySource) Seed(seed int64) {
+	r.i = 0
+	if t := loadTape(uint64(seed)); t != nil && t == r.t {
+		return
+	}
+	r.t = &tape{src: rand.NewSource(seed).(rand.Source64)}
+	r.vals = nil
+}
+
+// loadTape fetches or creates the tape for a state, or nil once the
+// cache cap is reached and the state is new.
+func loadTape(state uint64) *tape {
+	if e, ok := tapes.Load(state); ok {
+		return e.(*tape)
+	}
+	if tapeCount.Load() >= maxTapes {
+		return nil
+	}
+	t := &tape{src: rand.NewSource(int64(state)).(rand.Source64)}
+	t.snap.Store([]uint64(nil))
+	if e, loaded := tapes.LoadOrStore(state, t); loaded {
+		return e.(*tape)
+	}
+	tapeCount.Add(1)
+	return t
+}
+
+// TapeRand returns a generator producing the exact stream of Rand() —
+// bit-for-bit, for every interleaving of its methods — by replaying a
+// process-wide memoized copy of the underlying generator's output
+// instead of re-seeding math/rand's 607-element state on every call.
+//
+// Use it where the same derived source is materialized many times on a
+// hot path (e.g. once per graph edge) and each consumer draws a bounded
+// number of values: the shared tape grows to the longest consumption
+// seen, so an unbounded consumer would pin memory. Sources with
+// per-instance seeds gain nothing and should keep calling Rand().
+func (s Source) TapeRand() *rand.Rand {
+	t := loadTape(s.state)
+	if t == nil {
+		return s.Rand()
+	}
+	snap, _ := t.snap.Load().([]uint64)
+	return rand.New(&replaySource{t: t, vals: snap})
+}

@@ -1,9 +1,9 @@
 package routing
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"hybridcap/internal/geom"
 	"hybridcap/internal/linkcap"
@@ -80,7 +80,10 @@ func (s SchemeA) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 	members := cellMembersOf(g, homes)
 
 	graph, err := newCellGraph(g, members, func(A, B []int, self bool) float64 {
-		rnd := rng.New(0xA).Derive("schemeA-cap").Rand()
+		// TapeRand, not Rand: this closure runs once per graph edge, and
+		// re-seeding math/rand's 607-element state per edge dominated the
+		// Table I CPU profile. The replay stream is bit-identical.
+		rnd := rng.New(0xA).Derive("schemeA-cap").TapeRand()
 		cap := groupCapMSMS(a, homes, A, B, a.RT(), rnd)
 		if self {
 			cap /= 2
@@ -129,6 +132,14 @@ type cellGraph struct {
 	selfCap []float64
 	// selfLoad accumulates in-cell delivery load.
 	selfLoad []float64
+
+	// Reusable scratch for routeAll/dijkstra, so the per-source
+	// shortest-path passes allocate nothing after the first call.
+	distScratch   []float64
+	parentScratch []int32
+	pqScratch     cellPQ
+	prevLoad      [][]float64
+	edgeWeight    [][]float64
 }
 
 // newCellGraph builds the adjacency structure; capFn computes the total
@@ -188,48 +199,84 @@ func (cg *cellGraph) resetLoads() {
 	}
 }
 
+// cellDemand is one sink of a source cell's demand list.
+type cellDemand struct {
+	dst    int32
+	demand float64
+}
+
 // routeAll routes the demand matrix with iters congestion-aware passes
 // and returns the number of unroutable demand units.
+//
+// Demands are grouped per source into sorted slices before routing.
+// The load accumulation itself is order-independent — demands are
+// integer-valued, so the float additions onto each edge are exact in
+// any order — but sorted iteration keeps the pass cache-friendly and
+// free of map-range overhead in the hot loop.
 func (cg *cellGraph) routeAll(demands map[cellEdge]float64, iters int) int {
-	// Group demands by source cell.
-	bySrc := make(map[int]map[int]float64)
-	for e, d := range demands {
-		m := bySrc[e.from]
-		if m == nil {
-			m = make(map[int]float64)
-			bySrc[e.from] = m
+	// Group demands by source cell into dense sorted slices.
+	srcOf := make(map[int]int)
+	var srcs []int32
+	for e := range demands {
+		if _, ok := srcOf[e.from]; !ok {
+			srcOf[e.from] = -1
+			srcs = append(srcs, int32(e.from))
 		}
-		m[e.to] += d
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	sinks := make([][]cellDemand, len(srcs))
+	for i, s := range srcs {
+		srcOf[int(s)] = i
+	}
+	for e, d := range demands {
+		i := srcOf[e.from]
+		sinks[i] = append(sinks[i], cellDemand{dst: int32(e.to), demand: d})
+	}
+	for i := range sinks {
+		sort.Slice(sinks[i], func(a, b int) bool { return sinks[i][a].dst < sinks[i][b].dst })
+	}
+
+	if cg.prevLoad == nil {
+		cg.prevLoad = make([][]float64, len(cg.nbrLoad))
+		cg.edgeWeight = make([][]float64, len(cg.nbrLoad))
+		for c := range cg.nbrLoad {
+			cg.prevLoad[c] = make([]float64, len(cg.nbrLoad[c]))
+			cg.edgeWeight[c] = make([]float64, len(cg.nbrLoad[c]))
+		}
 	}
 	failures := 0
 	for it := 0; it < iters; it++ {
 		// Edge weights: inverse capacity, penalized by the congestion
-		// observed in the previous pass.
-		prevNbrLoad := make([][]float64, len(cg.nbrLoad))
+		// observed in the previous pass. The weight of an edge is fixed
+		// within a pass, so it is computed once here instead of per
+		// relaxation inside dijkstra — same expression, same bits.
 		for c := range cg.nbrLoad {
-			prevNbrLoad[c] = append([]float64(nil), cg.nbrLoad[c]...)
+			copy(cg.prevLoad[c], cg.nbrLoad[c])
 		}
 		maxRatio := 0.0
 		for c := range cg.nbr {
 			for i := range cg.nbr[c] {
-				if r := prevNbrLoad[c][i] / cg.nbrCap[c][i]; r > maxRatio {
+				if r := cg.prevLoad[c][i] / cg.nbrCap[c][i]; r > maxRatio {
 					maxRatio = r
 				}
 			}
 		}
+		for c := range cg.nbr {
+			for i := range cg.nbr[c] {
+				w := 1 / cg.nbrCap[c][i]
+				if maxRatio > 0 {
+					w *= 1 + cg.prevLoad[c][i]/cg.nbrCap[c][i]/maxRatio
+				}
+				cg.edgeWeight[c][i] = w
+			}
+		}
 		cg.resetLoads()
 		failures = 0
-		weight := func(c, i int) float64 {
-			w := 1 / cg.nbrCap[c][i]
-			if maxRatio > 0 {
-				w *= 1 + prevNbrLoad[c][i]/cg.nbrCap[c][i]/maxRatio
-			}
-			return w
-		}
-		for src, sinks := range bySrc {
-			parent := cg.dijkstra(src, weight)
-			for dst, demand := range sinks {
-				if src == dst {
+		for si, src := range srcs {
+			parent := cg.dijkstra(int(src))
+			for _, sink := range sinks[si] {
+				dst, demand := int(sink.dst), sink.demand
+				if int(src) == dst {
 					cg.selfLoad[src] += demand
 					continue
 				}
@@ -237,7 +284,7 @@ func (cg *cellGraph) routeAll(demands map[cellEdge]float64, iters int) int {
 					failures += int(demand)
 					continue
 				}
-				for c := dst; c != src; {
+				for c := dst; c != int(src); {
 					p := int(parent[c])
 					for i, nb := range cg.nbr[p] {
 						if int(nb) == c {
@@ -254,11 +301,15 @@ func (cg *cellGraph) routeAll(demands map[cellEdge]float64, iters int) int {
 }
 
 // dijkstra returns the shortest-path parent array from src under the
-// given edge weight function (-1 = unreachable).
-func (cg *cellGraph) dijkstra(src int, weight func(c, i int) float64) []int32 {
+// precomputed edgeWeight table (-1 = unreachable). The returned slice
+// is scratch owned by the graph: it is valid until the next call.
+func (cg *cellGraph) dijkstra(src int) []int32 {
 	n := len(cg.nbr)
-	dist := make([]float64, n)
-	parent := make([]int32, n)
+	if cg.distScratch == nil {
+		cg.distScratch = make([]float64, n)
+		cg.parentScratch = make([]int32, n)
+	}
+	dist, parent := cg.distScratch, cg.parentScratch
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		parent[i] = -1
@@ -268,19 +319,21 @@ func (cg *cellGraph) dijkstra(src int, weight func(c, i int) float64) []int32 {
 	}
 	dist[src] = 0
 	parent[src] = int32(src)
-	pq := &cellPQ{items: []cellPQItem{{cell: int32(src), dist: 0}}}
-	for pq.Len() > 0 {
-		top := heap.Pop(pq).(cellPQItem)
+	pq := &cg.pqScratch
+	pq.items = append(pq.items[:0], cellPQItem{cell: int32(src), dist: 0})
+	for len(pq.items) > 0 {
+		top := pq.pop()
 		c := int(top.cell)
 		if top.dist > dist[c] {
 			continue
 		}
+		w := cg.edgeWeight[c]
 		for i, nb := range cg.nbr[c] {
-			nd := top.dist + weight(c, i)
+			nd := top.dist + w[i]
 			if nd < dist[nb] {
 				dist[nb] = nd
 				parent[nb] = int32(c)
-				heap.Push(pq, cellPQItem{cell: nb, dist: nd})
+				pq.push(cellPQItem{cell: nb, dist: nd})
 			}
 		}
 	}
@@ -318,18 +371,48 @@ type cellPQItem struct {
 	dist float64
 }
 
+// cellPQ is a binary min-heap on dist, specialized to avoid the
+// interface boxing of container/heap in the dijkstra inner loop. The
+// sift order replicates container/heap exactly — up while strictly
+// less than the parent, down preferring the left child unless the
+// right is strictly less — so equal-distance ties pop in the same
+// order and parent arrays stay bit-identical to the generic version.
 type cellPQ struct {
 	items []cellPQItem
 }
 
-func (p *cellPQ) Len() int           { return len(p.items) }
-func (p *cellPQ) Less(i, j int) bool { return p.items[i].dist < p.items[j].dist }
-func (p *cellPQ) Swap(i, j int)      { p.items[i], p.items[j] = p.items[j], p.items[i] }
-func (p *cellPQ) Push(x interface{}) { p.items = append(p.items, x.(cellPQItem)) }
-func (p *cellPQ) Pop() interface{} {
-	old := p.items
-	n := len(old)
-	it := old[n-1]
-	p.items = old[:n-1]
+func (p *cellPQ) push(it cellPQItem) {
+	p.items = append(p.items, it)
+	j := len(p.items) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(p.items[j].dist < p.items[i].dist) {
+			break
+		}
+		p.items[i], p.items[j] = p.items[j], p.items[i]
+		j = i
+	}
+}
+
+func (p *cellPQ) pop() cellPQItem {
+	n := len(p.items) - 1
+	p.items[0], p.items[n] = p.items[n], p.items[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && p.items[j2].dist < p.items[j].dist {
+			j = j2
+		}
+		if !(p.items[j].dist < p.items[i].dist) {
+			break
+		}
+		p.items[i], p.items[j] = p.items[j], p.items[i]
+		i = j
+	}
+	it := p.items[n]
+	p.items = p.items[:n]
 	return it
 }

@@ -163,18 +163,33 @@ func (s SchemeB) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 	// healthy network (finite-size artifact: a group without BSs).
 	infraLoad := make([]float64, len(msGroups))
 	degraded := 0
+	// Backbone flows between the same group pair recur once per MS pair;
+	// compile each pair's usable-edge list once and replay it, instead
+	// of rescanning the |A|x|B| BS matrix on every pair.
+	flows := make(map[cellEdge]*backbone.GroupFlow)
+	flowOf := func(gs, gd int) *backbone.GroupFlow {
+		key := cellEdge{from: gs, to: gd}
+		f, ok := flows[key]
+		if !ok {
+			f = bb.CompileGroupFlow(bsGroups[gs], bsGroups[gd])
+			flows[key] = f
+		}
+		return f
+	}
 	for src, dst := range tr.DestOf {
 		gs, gd := groupOfMS[src], groupOfMS[dst]
 		ok := usable(gs) && usable(gd)
-		if ok && gs != gd && !bb.HasRoute(bsGroups[gs], bsGroups[gd]) {
-			ok = false
+		var flow *backbone.GroupFlow
+		if ok && gs != gd {
+			flow = flowOf(gs, gd)
+			ok = flow.Routable()
 		}
 		switch {
 		case ok:
 			infraLoad[gs]++
 			infraLoad[gd]++
 			if gs != gd {
-				if err := bb.AddGroupFlow(bsGroups[gs], bsGroups[gd], 1); err != nil {
+				if err := flow.Add(1); err != nil {
 					return nil, fmt.Errorf("routing: backbone flow %d->%d: %w", gs, gd, err)
 				}
 			}

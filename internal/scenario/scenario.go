@@ -208,6 +208,41 @@ func (s *Scenario) SHA256() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// cellScope is the projection of a scenario onto the dimensions one
+// grid cell's value depends on: the name (which salts the sweep's seed
+// derivation), the scaling exponents instantiated at the cell's size,
+// the scheme set scoring the instance, the BS placement, and the fault
+// plan. Deliberately absent: the size grid, seed count, description and
+// fit request — editing those must not invalidate untouched cells.
+type cellScope struct {
+	Name      string     `json:"name"`
+	Base      Exponents  `json:"base"`
+	N         int        `json:"n"`
+	Schemes   []string   `json:"schemes"`
+	Placement string     `json:"placement,omitempty"`
+	Faults    *FaultSpec `json:"faults,omitempty"`
+}
+
+// CellScope renders the canonical cache scope of one grid cell at
+// network size n: deterministic JSON (fixed struct tree, no maps) over
+// exactly the scenario dimensions that determine the cell's value, so
+// two scenarios that differ only in grid shape or presentation share
+// their cells.
+func (s *Scenario) CellScope(n int) ([]byte, error) {
+	data, err := json.MarshalIndent(cellScope{
+		Name:      s.Name,
+		Base:      s.Base,
+		N:         n,
+		Schemes:   s.Schemes,
+		Placement: s.Placement,
+		Faults:    s.Faults,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: cell scope: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
 // Parse decodes and validates a scenario. Unknown fields are rejected,
 // so a typoed knob fails loudly instead of silently running the
 // default.

@@ -24,7 +24,14 @@ import (
 // with From < To; Definition 10 shares the slot's bandwidth equally in
 // the two directions.
 func SStarPairs(m interference.Model, ix *spatial.Index) []interference.Transmission {
-	var out []interference.Transmission
+	return SStarPairsInto(m, ix, nil)
+}
+
+// SStarPairsInto is SStarPairs appending into buf's backing storage
+// (truncated first), so slot loops can reuse one pair buffer instead
+// of allocating a fresh result every slot.
+func SStarPairsInto(m interference.Model, ix *spatial.Index, buf []interference.Transmission) []interference.Transmission {
+	out := buf[:0]
 	n := ix.Len()
 	for i := 0; i < n; i++ {
 		pi := ix.Point(i)

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridcap/internal/cellcache"
 	"hybridcap/internal/experiments"
 	"hybridcap/internal/obs"
 	"hybridcap/internal/scenario"
@@ -52,6 +53,13 @@ type Config struct {
 	// CacheDir is the result cache directory (required). Entries are
 	// one file per scenario hash; see Store.
 	CacheDir string
+	// CellCacheDir, if set, opens a persistent cell-result cache shared
+	// by every run the daemon executes: scenario sweeps replay
+	// previously computed grid cells across submissions and restarts,
+	// so two scenarios sharing a regime (or a resubmission after a cache
+	// eviction) only pay for the cells that actually changed. Empty
+	// disables cell caching; run results are byte-identical either way.
+	CellCacheDir string
 	// MaxQueue bounds the admission queue; a full queue sheds load with
 	// 429 + Retry-After. 0 selects 16.
 	MaxQueue int
@@ -149,9 +157,10 @@ type run struct {
 // ListenAndServe (or mount Handler on a listener of your own), stop
 // with Shutdown.
 type Server struct {
-	cfg   Config
-	store *Store
-	mux   *http.ServeMux
+	cfg       Config
+	store     *Store
+	cellStore *cellcache.Store
+	mux       *http.ServeMux
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -192,6 +201,12 @@ func newServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cellStore *cellcache.Store
+	if cfg.CellCacheDir != "" {
+		if cellStore, err = cellcache.NewStore(cfg.CellCacheDir); err != nil {
+			return nil, err
+		}
+	}
 	hashes, err := store.Hashes()
 	if err != nil {
 		return nil, err
@@ -201,6 +216,7 @@ func newServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		store:      store,
+		cellStore:  cellStore,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *run, cfg.MaxQueue),
@@ -431,10 +447,11 @@ func (s *Server) runScenario(ctx context.Context, sc *scenario.Scenario) (res *e
 	}()
 	rt := obs.NewRuntimeWith(s.cfg.Clock, s.cfg.Registry)
 	o := experiments.Options{
-		Quick:   s.cfg.Quick,
-		Seeds:   s.cfg.Seeds,
-		Workers: s.cfg.Workers,
-		Obs:     rt,
+		Quick:     s.cfg.Quick,
+		Seeds:     s.cfg.Seeds,
+		Workers:   s.cfg.Workers,
+		Obs:       rt,
+		CellCache: s.cellStore,
 	}
 	return experiments.RunScenario(ctx, sc, o)
 }

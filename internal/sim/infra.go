@@ -163,6 +163,10 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 		return true
 	}
 	pos := make([]geom.Point, 0, n)
+	// Slot-loop scratch: the MS index is rebuilt in place (grid geometry
+	// is constant over the run), and the drained transit buffer's
+	// backing is recycled for the next slot's handovers.
+	var msIx *spatial.Index
 	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {
 		measuring := slot >= cfg.Warmup
 		for i := 0; i < n; i++ {
@@ -177,9 +181,9 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 		pos = nw.MSPositions(pos)
 
 		// Backbone: packets handed over last slot arrive at their target
-		// BS queue now.
+		// BS queue now. Everything is copied out, so the buffer backing
+		// is reused for this slot's handovers and retries.
 		arriving := transitQ[0]
-		transitQ[0] = nil
 		for _, p := range arriving {
 			if expired(p, slot, measuring) {
 				continue
@@ -187,12 +191,16 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 			p.moved = int32(slot)
 			downQ[p.bs] = append(downQ[p.bs], p)
 		}
+		transitQ[0] = arriving[:0]
 
 		// Uplink: each live BS absorbs up to uplinks packets from MSs in
 		// range (TDMA within the cell, one transmission at a time). An
 		// erased MS loses its opportunity for the slot.
-		msIx := spatial.New(pos, rt)
-		var handover []infraPacket
+		if msIx == nil {
+			msIx = spatial.New(pos, rt)
+		} else {
+			msIx.Rebuild(pos)
+		}
 		for _, b := range liveIDs {
 			budget := uplinks
 			msIx.ForEachWithin(nw.BSPos[b], rt, func(i int) bool {
@@ -206,22 +214,22 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 					p := srcQ[i][0]
 					srcQ[i] = srcQ[i][1:]
 					if !expired(p, slot, measuring) {
-						handover = append(handover, p)
+						transitQ[0] = append(transitQ[0], p)
 					}
 					budget--
 				}
 				return budget > 0
 			})
 		}
-		transitQ[0] = append(transitQ[0], handover...)
 
 		// Downlink: each live BS delivers up to uplinks packets to
 		// destinations currently in range. A waiting packet whose backoff
 		// ran out re-homes to the next-nearest live BS over the backbone.
+		// Survivors are compacted in place, reusing the queue's backing.
 		for _, b := range liveIDs {
 			budget := uplinks
 			q := downQ[b]
-			var rest []infraPacket
+			rest := q[:0]
 			for _, p := range q {
 				if expired(p, slot, measuring) {
 					continue

@@ -114,6 +114,10 @@ func RunMultihop(nw *network.Network, tr *traffic.Pattern, cfg MultihopConfig) (
 	var delaySum, hopSum float64
 
 	pos := make([]geom.Point, 0, n)
+	// Slot-loop scratch: grid geometry is constant over the run, so the
+	// index is rebuilt in place and the pair buffer reused.
+	var ix *spatial.Index
+	var pairs []interference.Transmission
 	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {
 		measuring := slot >= cfg.Warmup
 		for i := 0; i < n; i++ {
@@ -126,8 +130,12 @@ func RunMultihop(nw *network.Network, tr *traffic.Pattern, cfg MultihopConfig) (
 		}
 		nw.Step()
 		pos = nw.MSPositions(pos)
-		ix := spatial.New(pos, model.GuardRadius())
-		pairs := scheduler.SStarPairs(model, ix)
+		if ix == nil {
+			ix = spatial.New(pos, model.GuardRadius())
+		} else {
+			ix.Rebuild(pos)
+		}
+		pairs = scheduler.SStarPairsInto(model, ix, pairs)
 		for _, pr := range pairs {
 			forwardMultihop(pr.From, pr.To, queues, homeCell, nextCell, slot, measuring, rep, &delaySum, &hopSum)
 			forwardMultihop(pr.To, pr.From, queues, homeCell, nextCell, slot, measuring, rep, &delaySum, &hopSum)

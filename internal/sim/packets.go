@@ -81,6 +81,14 @@ func RunTwoHop(nw *network.Network, tr *traffic.Pattern, cfg PacketConfig) (*Pac
 	var delaySum float64
 
 	pos := make([]geom.Point, 0, n)
+	// The spatial index and pair list are slot-loop scratch: the grid
+	// geometry depends only on the guard radius and node count, both
+	// constant over the run, so rebuilding in place fills the same
+	// buckets New would. Allocations inside the slot loop below are the
+	// allocs_per_cell axis of BENCH_sweep.json; a prospective hotalloc
+	// analyzer would flag new ones (TODO(hotalloc) in internal/analysis).
+	var ix *spatial.Index
+	var pairs []interference.Transmission
 	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {
 		measuring := slot >= cfg.Warmup
 		// Injection.
@@ -95,8 +103,12 @@ func RunTwoHop(nw *network.Network, tr *traffic.Pattern, cfg PacketConfig) (*Pac
 		// Mobility and scheduling.
 		nw.Step()
 		pos = nw.MSPositions(pos)
-		ix := spatial.New(pos, model.GuardRadius())
-		pairs := scheduler.SStarPairs(model, ix)
+		if ix == nil {
+			ix = spatial.New(pos, model.GuardRadius())
+		} else {
+			ix.Rebuild(pos)
+		}
+		pairs = scheduler.SStarPairsInto(model, ix, pairs)
 		// Definition 10 splits the slot between the two directions: both
 		// endpoints get to transmit one packet.
 		for _, pr := range pairs {
@@ -120,23 +132,11 @@ func RunTwoHop(nw *network.Network, tr *traffic.Pattern, cfg PacketConfig) (*Pac
 // delivery (a packet destined to b), then relay handoff of a's own
 // oldest source packet.
 func transferPacket(a, b int, srcQ, relayQ [][]packet, slot int, measuring bool, rep *PacketReport, delaySum *float64) {
-	deliver := func(q []packet) ([]packet, bool) {
-		for idx, p := range q {
-			if int(p.dst) == b {
-				if measuring {
-					rep.Delivered++
-					*delaySum += float64(slot - int(p.born))
-				}
-				return append(q[:idx], q[idx+1:]...), true
-			}
-		}
-		return q, false
-	}
 	var done bool
-	if relayQ[a], done = deliver(relayQ[a]); done {
+	if relayQ[a], done = deliverTo(relayQ[a], b, slot, measuring, rep, delaySum); done {
 		return
 	}
-	if srcQ[a], done = deliver(srcQ[a]); done {
+	if srcQ[a], done = deliverTo(srcQ[a], b, slot, measuring, rep, delaySum); done {
 		return
 	}
 	// Relay handoff: give b the oldest source packet.
@@ -144,6 +144,21 @@ func transferPacket(a, b int, srcQ, relayQ [][]packet, slot int, measuring bool,
 		relayQ[b] = append(relayQ[b], srcQ[a][0])
 		srcQ[a] = srcQ[a][1:]
 	}
+}
+
+// deliverTo removes and accounts the first packet in q destined to b,
+// reporting whether one was delivered.
+func deliverTo(q []packet, b, slot int, measuring bool, rep *PacketReport, delaySum *float64) ([]packet, bool) {
+	for idx, p := range q {
+		if int(p.dst) == b {
+			if measuring {
+				rep.Delivered++
+				*delaySum += float64(slot - int(p.born))
+			}
+			return append(q[:idx], q[idx+1:]...), true
+		}
+	}
+	return q, false
 }
 
 // LinkPersistence measures Theorem 8's phenomenon: take the

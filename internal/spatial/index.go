@@ -91,7 +91,7 @@ func (ix *Index) ForEachWithin(q geom.Point, radius float64, fn func(id int) boo
 		for ic := 0; ic < countC; ic++ {
 			cell := ix.grid.Index(startC+ic, startR+ir)
 			for _, id := range ix.cells[cell] {
-				if geom.Dist2(q, ix.pts[id]) <= r2 {
+				if geom.Dist2Unit(q, ix.pts[id]) <= r2 {
 					if !fn(int(id)) {
 						return
 					}

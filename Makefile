@@ -1,14 +1,28 @@
 # Convenience entry points mirroring the CI gates. Each target is a
 # plain go/gofmt one-liner, so everything here also works without make.
 
-.PHONY: lint fmt test bench profile verify
+.PHONY: lint lint-json lint-sarif fmt test bench profile verify
 
-# The compile-time invariant gate: formatting plus the hybridlint
-# analyzer suite (same as CI's lint job, minus govulncheck which needs
-# network access to the vuln DB).
+# The compile-time invariant gate: formatting, go vet, plus the
+# hybridlint analyzer suite (same as CI's lint job, minus govulncheck
+# which needs network access to the vuln DB).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "unformatted files:"; echo "$$out"; exit 1; fi
+	go vet ./...
 	go run ./cmd/hybridlint ./...
+
+# Machine-readable lint reports (out/lint/). The JSON report doubles as
+# the -baseline format; the SARIF file is what CI uploads to code
+# scanning.
+lint-json:
+	mkdir -p out/lint
+	go run ./cmd/hybridlint -json ./... > out/lint/hybridlint.json; \
+		status=$$?; cat out/lint/hybridlint.json; exit $$status
+
+lint-sarif:
+	mkdir -p out/lint
+	go run ./cmd/hybridlint -sarif ./... > out/lint/hybridlint.sarif; \
+		status=$$?; echo "wrote out/lint/hybridlint.sarif"; exit $$status
 
 fmt:
 	gofmt -w .

@@ -8,6 +8,15 @@
 //	go run ./cmd/hybridlint ./internal/sim    # one package
 //	go run ./cmd/hybridlint -analyzers errdrop,nopanic ./...
 //	go run ./cmd/hybridlint -list             # describe the suite
+//	go run ./cmd/hybridlint -json ./...       # machine-readable findings
+//	go run ./cmd/hybridlint -sarif ./...      # SARIF 2.1.0 for CI upload
+//	go run ./cmd/hybridlint -baseline known.json ./...
+//
+// -json emits the findings as a versioned JSON report; the same format
+// serves as the -baseline file, so `-json > baseline.json` followed by
+// `-baseline baseline.json` suppresses exactly the recorded findings
+// (matched by file, analyzer and message — line drift does not
+// resurrect them). -sarif emits SARIF 2.1.0 for code-scanning upload.
 //
 // Each analyzer only runs on the packages it governs (see
 // analysis.InScope); test files are exempt by design. The driver is
@@ -18,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,58 +35,113 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "describe the analyzers and exit")
-	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hybridlint [-list] [-analyzers a,b] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the driver body, separated from main so tests can execute the
+// full flag-to-report path in-process. It returns the exit code: 0
+// clean, 1 findings, 2 usage or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hybridlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON report (also the -baseline format)")
+	asSARIF := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	baselinePath := fs.String("baseline", "", "JSON report of known findings to suppress")
+	fs.Usage = func() {
+		outf(stderr, "usage: hybridlint [-list] [-analyzers a,b] [-json|-sarif] [-baseline file] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			outf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *asJSON && *asSARIF {
+		outln(stderr, "hybridlint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 
 	suite, err := selectAnalyzers(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hybridlint:", err)
-		os.Exit(2)
+		outln(stderr, "hybridlint:", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	var baseline *analysis.Report
+	if *baselinePath != "" {
+		if baseline, err = analysis.LoadBaseline(*baselinePath); err != nil {
+			outln(stderr, "hybridlint:", err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hybridlint:", err)
-		os.Exit(2)
+		outln(stderr, "hybridlint:", err)
+		return 2
 	}
 
-	var count int
+	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range suite {
 			if !analysis.InScope(a.Name, pkg.Path) {
 				continue
 			}
-			diags, err := analysis.RunAnalyzer(a, pkg)
+			found, err := analysis.RunAnalyzer(a, pkg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hybridlint:", err)
-				os.Exit(2)
+				outln(stderr, "hybridlint:", err)
+				return 2
 			}
-			for _, d := range diags {
-				fmt.Println(d)
-				count++
-			}
+			diags = append(diags, found...)
 		}
 	}
-	if count > 0 {
-		fmt.Fprintf(os.Stderr, "hybridlint: %d issue(s)\n", count)
-		os.Exit(1)
+
+	report := analysis.NewReport(".", diags)
+	report.FilterBaseline(baseline)
+
+	switch {
+	case *asJSON:
+		if err := report.EncodeJSON(stdout); err != nil {
+			outln(stderr, "hybridlint:", err)
+			return 2
+		}
+	case *asSARIF:
+		if err := report.EncodeSARIF(stdout); err != nil {
+			outln(stderr, "hybridlint:", err)
+			return 2
+		}
+	default:
+		for _, f := range report.Findings {
+			outf(stdout, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+		}
 	}
+	if n := len(report.Findings); n > 0 {
+		outf(stderr, "hybridlint: %d issue(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// outf and outln print to the driver's injected writers, explicitly
+// discarding the write error: a broken stdout/stderr pipe has no better
+// recovery than the exit code already conveys.
+func outf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func outln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {

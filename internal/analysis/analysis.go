@@ -82,7 +82,9 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// Analyzers is the hybridlint suite in stable report order.
+// Analyzers is the hybridlint suite in stable report order. The first
+// six are the syntactic tier (PRs 3–4); hotalloc, ctxflow, cachekey and
+// staleignore are the flow-sensitive tier.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NondeterminismAnalyzer,
@@ -91,6 +93,10 @@ func Analyzers() []*Analyzer {
 		FloatEqAnalyzer,
 		ErrDropAnalyzer,
 		GoroLeakAnalyzer,
+		HotAllocAnalyzer,
+		CtxFlowAnalyzer,
+		CacheKeyAnalyzer,
+		StaleIgnoreAnalyzer,
 	}
 }
 

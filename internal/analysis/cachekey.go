@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// CacheKeyAnalyzer proves the cell-cache key covers the scenario space:
+// every field of scenario.Scenario must either be projected into the
+// cellScope struct (the canonical (scope, point, seed) cache key of
+// internal/cellcache) or be named in the package's gridOnlyFields
+// allowlist, which declares that editing the field must NOT invalidate
+// previously computed cells (grid shape, presentation, fit requests).
+//
+// The point is forward-looking: when a future PR adds a Scenario field
+// (delay accounting, shard specs, D2D knobs), compilation still
+// succeeds — but the field's cache-invalidation semantics are
+// undeclared, and a stale cellScope would silently serve cached cells
+// computed under different physics. This analyzer fails the lint gate
+// until the new field is classified one way or the other, turning
+// cellcache soundness from a code-review convention into a
+// compile-time invariant.
+//
+// The analyzer also rejects contradictions (a field both projected and
+// allowlisted) and dead allowlist entries (gridOnlyFields naming a
+// field Scenario no longer has).
+var CacheKeyAnalyzer = &Analyzer{
+	Name: "cachekey",
+	Doc:  "every scenario.Scenario field must be projected into cellScope or declared grid-only in gridOnlyFields, so cell-cache invalidation semantics are always explicit",
+	Run:  runCacheKey,
+}
+
+func runCacheKey(pass *Pass) error {
+	scenarioStruct := findStructType(pass.Files, "Scenario")
+	if scenarioStruct == nil {
+		return nil // not a scenario-shaped package
+	}
+	scopeStruct := findStructType(pass.Files, "cellScope")
+	if scopeStruct == nil {
+		pass.Reportf(scenarioStruct.Pos(), "package declares a Scenario struct but no cellScope projection: the cell cache has no key scope to check against")
+		return nil
+	}
+
+	scopeFields := fieldNames(scopeStruct)
+	gridOnly, gridOnlyPos := gridOnlyList(pass.Files)
+
+	scenarioFields := make(map[string]bool)
+	for _, field := range scenarioStruct.Fields.List {
+		for _, name := range field.Names {
+			scenarioFields[name.Name] = true
+			inScope := scopeFields[name.Name]
+			_, inGridOnly := gridOnly[name.Name]
+			switch {
+			case inScope && inGridOnly:
+				pass.Reportf(name.Pos(), "scenario field %s is both projected into cellScope and declared grid-only in gridOnlyFields: the classifications contradict; pick one", name.Name)
+			case !inScope && !inGridOnly:
+				pass.Reportf(name.Pos(), "scenario field %s is neither projected into cellScope nor declared grid-only in gridOnlyFields: its cell-cache invalidation semantics are undeclared, so cached cells could silently survive a change to it; classify the field", name.Name)
+			}
+		}
+	}
+
+	for name, pos := range gridOnlyPos {
+		if !scenarioFields[name] {
+			pass.Reportf(pos, "gridOnlyFields names %q but Scenario has no such field: dead allowlist entry, delete it", name)
+		}
+	}
+	return nil
+}
+
+// findStructType returns the struct type declared under the given name,
+// or nil.
+func findStructType(files []*ast.File, name string) *ast.StructType {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fieldNames collects the declared field names of a struct type.
+func fieldNames(st *ast.StructType) map[string]bool {
+	names := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			names[name.Name] = true
+		}
+	}
+	return names
+}
+
+// gridOnlyList extracts the package-level gridOnlyFields string-slice
+// literal: the explicit declaration that a Scenario field only shapes
+// the grid or presentation and must not invalidate cached cells.
+func gridOnlyList(files []*ast.File) (map[string]bool, map[string]token.Pos) {
+	names := make(map[string]bool)
+	positions := make(map[string]token.Pos)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != "gridOnlyFields" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range lit.Elts {
+						bl, ok := elt.(*ast.BasicLit)
+						if !ok {
+							continue
+						}
+						if s, err := strconv.Unquote(bl.Value); err == nil {
+							names[s] = true
+							positions[s] = bl.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+	return names, positions
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces the cancellation-threading discipline the
+// scenario service depends on: a canceled run must stop promptly at
+// every layer, which only holds if the context actually flows from the
+// HTTP handler down to the engine's cell scheduler. Concretely:
+//
+//   - context.Background() and context.TODO() are forbidden outside
+//     cmd/, examples/ and tests: library code receives its context from
+//     the caller. A function that already has a ctx parameter and still
+//     starts a fresh Background severs the caller's cancellation —
+//     that is the regression this analyzer exists to prevent;
+//   - a nil literal must never be passed where a context.Context is
+//     expected: pass the caller's ctx (the callee cannot distinguish
+//     "forgot" from "never cancels");
+//   - a goroutine spawned in a context-carrying function must not block
+//     forever on a channel send after its consumer is gone: every send
+//     needs a select with a ctx.Done()-shaped arm (a receive from a
+//     Done() call or a <-chan struct{}), so shutdown can always reach
+//     the worker. This is the flow-sensitive sharpening of goroleak's
+//     any-select rule.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread context.Context through every layer: no context.Background/TODO outside cmd and tests, no nil contexts, and ctx.Done() select arms on goroutine sends in context-carrying functions",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkCtxScope(pass, fd.Body, funcTypeHasCtx(pass, fd.Type))
+		}
+	}
+	return nil
+}
+
+// walkCtxScope checks one function scope; hasCtx reports whether a
+// context.Context is in scope (a parameter of this function or of an
+// enclosing one, for literals).
+func walkCtxScope(pass *Pass, body *ast.BlockStmt, hasCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			walkCtxScope(pass, e.Body, hasCtx || funcTypeHasCtx(pass, e.Type))
+			return false
+		case *ast.GoStmt:
+			if lit, ok := e.Call.Fun.(*ast.FuncLit); ok && hasCtx {
+				checkGoroutineSends(pass, lit)
+			}
+			// Fall through to visit the call and (via FuncLit above) the
+			// spawned body for Background/nil findings too.
+		case *ast.CallExpr:
+			checkCtxCall(pass, e, hasCtx)
+		}
+		return true
+	})
+}
+
+// funcTypeHasCtx reports whether ft declares a context.Context
+// parameter.
+func funcTypeHasCtx(pass *Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkCtxCall flags fresh root contexts and nil contexts at one call
+// site.
+func checkCtxCall(pass *Pass, call *ast.CallExpr, hasCtx bool) {
+	if name, ok := contextRootCall(pass, call); ok {
+		if hasCtx {
+			pass.Reportf(call.Pos(), "context.%s severs the caller's cancellation: this function already receives a ctx — thread it (derive with context.WithCancel/WithTimeout/WithoutCancel) or justify with //lint:ignore ctxflow", name)
+		} else {
+			pass.Reportf(call.Pos(), "context.%s outside cmd/ and tests: library code must receive its context from the caller so cancellation reaches every layer; accept a ctx parameter or justify with //lint:ignore ctxflow", name)
+		}
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	if sig.Variadic() {
+		n--
+	}
+	for i := 0; i < n && i < len(call.Args); i++ {
+		if !isCtxType(params.At(i).Type()) {
+			continue
+		}
+		if id, ok := call.Args[i].(*ast.Ident); ok && id.Name == "nil" {
+			if t := pass.TypeOf(call.Args[i]); t != nil {
+				if b, isBasic := t.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+					pass.Reportf(call.Args[i].Pos(), "nil passed as context.Context: the callee cannot tell a forgotten context from a never-canceling one; pass the caller's ctx or justify with //lint:ignore ctxflow")
+				}
+			}
+		}
+	}
+}
+
+// contextRootCall recognizes context.Background() / context.TODO().
+func contextRootCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// checkGoroutineSends walks a spawned goroutine's body: every channel
+// send must sit in a select that also has a ctx.Done()-shaped arm, or
+// shutdown can strand the worker blocked on a consumer that already
+// returned. Nested go statements are skipped; they are checked as their
+// own goroutines.
+func checkGoroutineSends(pass *Pass, lit *ast.FuncLit) {
+	var stack []ast.Node
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if send, ok := n.(*ast.SendStmt); ok {
+			sel := enclosingSelect(stack)
+			switch {
+			case sel == nil:
+				pass.Reportf(send.Pos(), "blocking send in a goroutine spawned from a context-carrying function: once the consumer stops, shutdown cannot reach this worker; guard the send with a select that has a ctx.Done() arm or justify with //lint:ignore ctxflow")
+			case !hasDoneArm(pass, sel):
+				pass.Reportf(send.Pos(), "select around this goroutine send has no ctx.Done() arm: cancellation cannot unblock the worker; add a case <-ctx.Done() or justify with //lint:ignore ctxflow")
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingSelect returns the innermost select on the stack, or nil.
+func enclosingSelect(stack []ast.Node) *ast.SelectStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			return sel
+		}
+	}
+	return nil
+}
+
+// hasDoneArm reports whether the select has a receive arm wired to a
+// cancellation signal: a receive from a Done() call, or from any
+// expression of type <-chan struct{} (the shape ctx.Done() returns and
+// done-channel idioms share).
+func hasDoneArm(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch c := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recv = c.Rhs[0]
+			}
+		}
+		u, ok := recv.(*ast.UnaryExpr)
+		if !ok || u.Op.String() != "<-" {
+			continue
+		}
+		if isDoneChannel(pass, u.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneChannel recognizes ctx.Done()-shaped channels: a call to a
+// method named Done, or an expression whose type is a receive-only
+// channel of empty struct.
+func isDoneChannel(pass *Pass, ch ast.Expr) bool {
+	if call, ok := ch.(*ast.CallExpr); ok {
+		if s, ok := call.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+			return true
+		}
+	}
+	t := pass.TypeOf(ch)
+	if t == nil {
+		return false
+	}
+	c, ok := t.Underlying().(*types.Chan)
+	if !ok || c.Dir() != types.RecvOnly {
+		return false
+	}
+	st, ok := c.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -34,16 +34,17 @@ var deterministicPkgs = map[string]bool{
 	"cellcache": true,
 }
 
-// TODO(hotalloc): a prospective analyzer for the slot-loop hot paths in
-// internal/sim (packets.go, multihop.go, infra.go): flag `make` and
-// growing `append` expressions inside the per-slot loops, where the
-// scratch-arena discipline requires buffers to be allocated once per
-// cell and reused (see the "Slot-loop scratch" comments in those
-// files). The remaining churn is visible as allocs_per_cell in
-// BENCH_sweep.json; the analyzer would turn that trajectory metric
-// into a compile-time invariant. Needs a loop-nesting heuristic
-// (functions whose receiver carries reusable scratch fields) before it
-// can avoid false positives on per-cell setup allocations.
+// hotAllocPkgs are the slot-loop hot paths where the scratch-arena
+// discipline holds: buffers are allocated once per cell and reused, so
+// the per-slot inner loops run allocation-free (the allocs_per_cell
+// axis of BENCH_sweep.json, enforced by the hotalloc analyzer).
+var hotAllocPkgs = map[string]bool{
+	"sim":       true,
+	"mobility":  true,
+	"routing":   true,
+	"scheduler": true,
+	"spatial":   true,
+}
 
 // floatEqPkgs are the packages computing order-notation quantities
 // (capacity exponents, scaling fits, measured throughput) where exact
@@ -60,8 +61,12 @@ var floatEqPkgs = map[string]bool{
 //
 //   - nondeterminism: the deterministic simulation packages only
 //   - floateq:        capacity, scaling, measure
-//   - nopanic:        everywhere except cmd/ and examples/ binaries
-//   - maporder, errdrop, goroleak: everywhere
+//   - hotalloc:       the slot-loop hot paths (sim, mobility, routing,
+//     scheduler, spatial)
+//   - cachekey:       the scenario package (owner of the cellScope
+//     cache-key projection)
+//   - nopanic, ctxflow: everywhere except cmd/ and examples/ binaries
+//   - maporder, errdrop, goroleak, staleignore: everywhere
 func InScope(analyzer, pkgPath string) bool {
 	segs := strings.Split(pkgPath, "/")
 	switch analyzer {
@@ -69,14 +74,18 @@ func InScope(analyzer, pkgPath string) bool {
 		return hasInternalPkg(segs, deterministicPkgs)
 	case "floateq":
 		return hasInternalPkg(segs, floatEqPkgs)
-	case "nopanic":
+	case "hotalloc":
+		return hasInternalPkg(segs, hotAllocPkgs)
+	case "cachekey":
+		return hasInternalPkg(segs, map[string]bool{"scenario": true})
+	case "nopanic", "ctxflow":
 		for _, s := range segs {
 			if s == "cmd" || s == "examples" {
 				return false
 			}
 		}
 		return true
-	case "maporder", "errdrop", "goroleak":
+	case "maporder", "errdrop", "goroleak", "staleignore":
 		return true
 	}
 	return false

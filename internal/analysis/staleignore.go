@@ -1,0 +1,108 @@
+package analysis
+
+import "strings"
+
+// StaleIgnoreAnalyzer keeps the suppression inventory honest: a
+// //lint:ignore directive that no longer silences anything is itself a
+// finding. Suppressions are debt — each one records a deliberate
+// exception to an invariant — and when the underlying code is fixed or
+// deleted, a leftover directive keeps a hole open that a future edit
+// can silently fall through. This analyzer re-runs every suite
+// analyzer in scope for the package with suppression disabled and
+// checks that each directive is consumed: at least one raw diagnostic
+// of a named analyzer (or any analyzer, for "*") lands on the
+// directive's line or the line below. Unconsumed directives and
+// directives naming analyzers the suite does not have are reported at
+// the directive itself.
+//
+// Directives naming staleignore are exempt from the consumption check
+// (they exist to silence this analyzer, which never produces raw
+// findings of its own).
+var StaleIgnoreAnalyzer = &Analyzer{
+	Name: "staleignore",
+	Doc:  "flag //lint:ignore directives that no longer match any finding: stale suppressions are holes in the invariant gate and must be deleted",
+}
+
+// Run is wired in init because runStaleIgnore enumerates Analyzers(),
+// which includes StaleIgnoreAnalyzer itself — a direct field reference
+// would be an initialization cycle.
+func init() {
+	StaleIgnoreAnalyzer.Run = runStaleIgnore
+}
+
+func runStaleIgnore(pass *Pass) error {
+	dirs := collectDirectives(pass.Fset, pass.Files)
+	if len(dirs) == 0 {
+		return nil
+	}
+
+	// Raw (pre-suppression) findings of every other in-scope analyzer.
+	pkgPath := pass.Pkg.Path()
+	var raw []Diagnostic
+	for _, a := range Analyzers() {
+		if a.Name == StaleIgnoreAnalyzer.Name || !InScope(a.Name, pkgPath) {
+			continue
+		}
+		sub := &Pass{
+			Analyzer: a,
+			Fset:     pass.Fset,
+			Files:    pass.Files,
+			Pkg:      pass.Pkg,
+			Info:     pass.Info,
+		}
+		if err := a.Run(sub); err != nil {
+			return err
+		}
+		raw = append(raw, sub.diags...)
+	}
+
+	suite := make(map[string]bool)
+	for _, a := range Analyzers() {
+		suite[a.Name] = true
+	}
+
+	for _, d := range dirs {
+		if hasName(d.names, StaleIgnoreAnalyzer.Name) {
+			continue // meta-directive: silences this analyzer's own findings
+		}
+		for _, n := range d.names {
+			if n != "*" && !suite[n] {
+				pass.Reportf(d.start, "//lint:ignore names unknown analyzer %q (try hybridlint -list); the directive suppresses nothing", n)
+			}
+		}
+		consumed := false
+		for _, g := range raw {
+			if d.covers(g.Analyzer, g.Pos.Filename, g.Pos.Line) {
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			pass.Reportf(d.start, "stale //lint:ignore %s: no %s finding remains on this or the next line; the exception it recorded is gone — delete the directive",
+				strings.Join(d.names, ","), nameList(d.names))
+		}
+	}
+	return nil
+}
+
+func hasName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// nameList renders the analyzer list for the stale message ("any" for
+// a wildcard directive).
+func nameList(names []string) string {
+	cleaned := make([]string, 0, len(names))
+	for _, n := range names {
+		if n == "*" {
+			return "suite"
+		}
+		cleaned = append(cleaned, n)
+	}
+	return strings.Join(cleaned, "/")
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -20,40 +22,85 @@ type suppression struct {
 }
 
 func (s suppression) covers(analyzer string) bool {
-	return s.analyzers != nil && (s.analyzers["*"] || s.analyzers[analyzer])
+	if s.analyzers == nil {
+		return false
+	}
+	if s.analyzers[analyzer] {
+		return true
+	}
+	// A wildcard silences every analyzer except staleignore, whose
+	// findings are about the directives themselves: a stale wildcard
+	// directive must not be able to suppress its own report.
+	return s.analyzers["*"] && analyzer != "staleignore"
 }
 
 // suppressionIndex maps filename -> line -> suppression.
 type suppressionIndex map[string]map[int]suppression
 
-// buildSuppressionIndex scans every comment in the package for ignore
-// directives.
-func buildSuppressionIndex(pkg *Package) suppressionIndex {
-	idx := make(suppressionIndex)
-	for _, f := range pkg.Files {
+// directive is one well-formed //lint:ignore comment, resolved to its
+// position. Each directive covers diagnostics on its own line and the
+// line directly below it.
+type directive struct {
+	pos   token.Position
+	start token.Pos
+	names []string
+}
+
+// covers reports whether the directive silences the named analyzer on
+// the given file line.
+func (d directive) covers(analyzer, filename string, line int) bool {
+	if filename != d.pos.Filename || (line != d.pos.Line && line != d.pos.Line+1) {
+		return false
+	}
+	for _, n := range d.names {
+		if n == "*" || n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans every comment in the files for well-formed
+// ignore directives, in file order.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var dirs []directive
+	for _, f := range files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
 				names, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]suppression)
-					idx[pos.Filename] = lines
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					s := lines[line]
-					if s.analyzers == nil {
-						s.analyzers = make(map[string]bool)
-					}
-					for _, n := range names {
-						s.analyzers[n] = true
-					}
-					lines[line] = s
-				}
+				dirs = append(dirs, directive{
+					pos:   fset.Position(c.Pos()),
+					start: c.Pos(),
+					names: names,
+				})
 			}
+		}
+	}
+	return dirs
+}
+
+// buildSuppressionIndex indexes the package's ignore directives by the
+// (file, line) pairs they cover.
+func buildSuppressionIndex(pkg *Package) suppressionIndex {
+	idx := make(suppressionIndex)
+	for _, d := range collectDirectives(pkg.Fset, pkg.Files) {
+		lines := idx[d.pos.Filename]
+		if lines == nil {
+			lines = make(map[int]suppression)
+			idx[d.pos.Filename] = lines
+		}
+		for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+			s := lines[line]
+			if s.analyzers == nil {
+				s.analyzers = make(map[string]bool)
+			}
+			for _, n := range d.names {
+				s.analyzers[n] = true
+			}
+			lines[line] = s
 		}
 	}
 	return idx

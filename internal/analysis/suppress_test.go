@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parseFixture type-checks an import-free source string into a Package,
+// so suppression semantics can be tested without touching disk.
+func parseFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("example.com/fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return &Package{
+		Path:  "example.com/fixture",
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Types: tpkg,
+		Info:  info,
+	}
+}
+
+// TestParseIgnoreMandatoryReason pins the directive grammar: an
+// analyzer list AND a reason are both required, or the comment
+// suppresses nothing.
+func TestParseIgnoreMandatoryReason(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//lint:ignore nopanic justified because testdata", []string{"nopanic"}, true},
+		{"//lint:ignore nopanic,errdrop shared justification", []string{"nopanic", "errdrop"}, true},
+		{"//lint:ignore * blanket justification", []string{"*"}, true},
+		{"//lint:ignore nopanic", nil, false},         // no reason: inert
+		{"//lint:ignore", nil, false},                 // bare directive: inert
+		{"// lint:ignore nopanic reason", nil, false}, // space breaks the prefix
+		{"// ordinary comment", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.text)
+		if ok != c.ok {
+			t.Errorf("parseIgnore(%q) ok=%v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, names, c.names)
+		}
+	}
+}
+
+// TestSuppressionNameMatching checks that a directive only silences the
+// analyzers it names: same-name and wildcard suppress, a wrong name
+// does not, and a reason-less directive is inert.
+func TestSuppressionNameMatching(t *testing.T) {
+	pkg := parseFixture(t, `package fixture
+
+func rightName() {
+	//lint:ignore nopanic fixture demonstrating a matching suppression
+	panic("a")
+}
+
+func wrongName() {
+	//lint:ignore errdrop fixture directive naming a different analyzer
+	panic("b")
+}
+
+func wildcard() {
+	//lint:ignore * fixture demonstrating a wildcard suppression
+	panic("c")
+}
+
+func noReason() {
+	//lint:ignore nopanic
+	panic("d")
+}
+`)
+	diags, err := RunAnalyzer(NoPanicAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// Surviving findings: wrongName's panic (line 10) and noReason's
+	// panic (line 20). rightName and wildcard are suppressed.
+	if want := []int{10, 20}; !reflect.DeepEqual(lines, want) {
+		t.Errorf("surviving findings at lines %v, want %v\n%v", lines, want, diags)
+	}
+}
+
+// TestWildcardDoesNotSuppressStaleignore pins the one exception to
+// wildcard matching: staleignore findings are about directives
+// themselves, so a stale "*" directive cannot silence its own report.
+func TestWildcardDoesNotSuppressStaleignore(t *testing.T) {
+	pkg := parseFixture(t, `package fixture
+
+func f() int {
+	//lint:ignore * fixture wildcard with nothing left to silence
+	return 1
+}
+`)
+	pos := token.Position{Filename: pkg.Fset.Position(pkg.Files[0].Pos()).Filename, Line: 4}
+	diags := filterSuppressed(pkg, []Diagnostic{
+		{Pos: pos, Analyzer: "staleignore", Message: "stale directive"},
+		{Pos: pos, Analyzer: "nopanic", Message: "would be suppressed"},
+	})
+	if len(diags) != 1 || diags[0].Analyzer != "staleignore" {
+		t.Errorf("wildcard must suppress nopanic but not staleignore, got %v", diags)
+	}
+}
+
+// TestStaleIgnoreConsumedVsStale runs the staleignore analyzer over a
+// fixture with one live and one leftover directive: only the leftover
+// is reported, at the directive itself.
+func TestStaleIgnoreConsumedVsStale(t *testing.T) {
+	pkg := parseFixture(t, `package fixture
+
+func consumed() {
+	//lint:ignore nopanic fixture panic kept deliberately
+	panic("x")
+}
+
+func stale() int {
+	//lint:ignore nopanic the panic this silenced was removed long ago
+	return 1
+}
+`)
+	diags, err := RunAnalyzer(StaleIgnoreAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d staleignore findings, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pos.Line != 9 {
+		t.Errorf("stale finding at line %d, want 9 (the leftover directive)", d.Pos.Line)
+	}
+	if !strings.Contains(d.Message, "stale //lint:ignore nopanic") {
+		t.Errorf("unexpected message: %s", d.Message)
+	}
+}
+
+// TestStaleIgnoreUnknownAnalyzer checks that a directive naming an
+// analyzer outside the suite is reported even when another named
+// analyzer keeps it consumed.
+func TestStaleIgnoreUnknownAnalyzer(t *testing.T) {
+	pkg := parseFixture(t, `package fixture
+
+func f() {
+	//lint:ignore nopanic,nosuchcheck fixture with one typoed name
+	panic("x")
+}
+`)
+	diags, err := RunAnalyzer(StaleIgnoreAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown analyzer "nosuchcheck"`) {
+		t.Errorf("want one unknown-analyzer finding, got %v", diags)
+	}
+}

@@ -1,0 +1,45 @@
+// Package cachekey exercises the cache-key coverage analyzer on a copy
+// of the scenario.Scenario shape with deliberate classification gaps: a
+// contradiction, a synthetic unclassified field, and a dead allowlist
+// entry.
+package cachekey
+
+// Exponents stands in for the scaling-exponent struct shared by the
+// scenario and its cell scope.
+type Exponents struct {
+	Beta float64
+}
+
+// Scenario mirrors scenario.Scenario.
+type Scenario struct {
+	Name    string
+	Base    Exponents
+	Schemes []string
+
+	// Sizes is grid-only: editing the size grid must not invalidate
+	// already-computed cells.
+	Sizes []int
+
+	// Placement is both projected into cellScope and allowlisted.
+	Placement string // want "both projected into cellScope and declared grid-only"
+
+	// DelaySpec is the synthetic new field nobody classified yet.
+	DelaySpec string // want "neither projected into cellScope nor declared grid-only"
+
+	//lint:ignore cachekey classification deferred to the PR that wires shard accounting
+	ShardSpec string
+}
+
+type cellScope struct {
+	Name      string
+	Base      Exponents
+	N         int
+	Schemes   []string
+	Placement string
+}
+
+var gridOnlyFields = []string{
+	"Sizes",
+	"Placement",
+	"Description", // want "no such field"
+}

@@ -1,0 +1,41 @@
+package ctxflow
+
+import "context"
+
+// threaded derives from the caller's ctx instead of a fresh root.
+func threaded(ctx context.Context) error {
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return process(dctx)
+}
+
+// guarded sends under a select with a ctx.Done arm, so shutdown can
+// always unblock the worker.
+func guarded(ctx context.Context, out chan<- int) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// doneChan uses the done-channel idiom; a <-chan struct{} arm counts
+// as a cancellation signal.
+func doneChan(ctx context.Context, out chan<- int, done <-chan struct{}) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-done:
+		}
+	}()
+	_ = ctx
+}
+
+// plainFunc has no ctx in scope: its goroutine sends are goroleak's
+// business, not ctxflow's.
+func plainFunc(out chan<- int) {
+	go func() {
+		out <- 1
+	}()
+}

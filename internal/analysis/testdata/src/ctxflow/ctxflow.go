@@ -1,0 +1,55 @@
+// Package ctxflow seeds violations of the context-threading
+// discipline: fresh root contexts in library code, nil contexts, and
+// goroutine sends that shutdown cannot unblock.
+package ctxflow
+
+import "context"
+
+func process(ctx context.Context) error { return ctx.Err() }
+
+// severed already receives a ctx but starts a fresh root anyway.
+func severed(ctx context.Context) error {
+	fresh := context.Background() // want "severs the caller's cancellation"
+	_ = ctx
+	return process(fresh)
+}
+
+// library has no ctx parameter and conjures one out of thin air.
+func library() error {
+	return process(context.TODO()) // want "outside cmd/ and tests"
+}
+
+// nilCtx passes nil where a context is expected.
+func nilCtx() error {
+	return process(nil) // want "nil passed as context.Context"
+}
+
+// unguarded spawns a worker whose send blocks forever once the
+// consumer is gone.
+func unguarded(ctx context.Context, out chan<- int) {
+	go func() {
+		out <- 1 // want "shutdown cannot reach this worker"
+	}()
+	_ = ctx
+}
+
+// noDoneArm guards the send with a select that cancellation cannot
+// reach.
+func noDoneArm(ctx context.Context, out chan<- int, other <-chan int) {
+	go func() {
+		select {
+		case out <- 1: // want "no ctx.Done"
+		case <-other:
+		}
+	}()
+	_ = ctx
+}
+
+// nestedLiteral inherits the ctx obligation through a closure.
+func nestedLiteral(ctx context.Context) {
+	run := func() {
+		_ = context.Background() // want "severs the caller's cancellation"
+	}
+	run()
+	_ = ctx
+}

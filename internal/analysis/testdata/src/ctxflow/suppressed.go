@@ -1,0 +1,10 @@
+package ctxflow
+
+import "context"
+
+// root is a documented process-lifetime root: the justified exception
+// the directive records.
+func root() context.Context {
+	//lint:ignore ctxflow the daemon's base context is the process-lifetime root by design
+	return context.Background()
+}

@@ -1,0 +1,65 @@
+package hotalloc
+
+// arena is the scratch-arena idiom the slot loops use: a preallocated
+// buffer threaded in via the receiver, reset with a reslice and grown
+// with self-append, so capacity survives iterations.
+type arena struct {
+	pairs []int
+}
+
+func (a *arena) fill(grid [][]int) {
+	for _, row := range grid {
+		a.pairs = a.pairs[:0]
+		for _, v := range row {
+			a.pairs = append(a.pairs, v)
+		}
+	}
+}
+
+// compact is the in-place compaction idiom: rest shares q's backing
+// (reslice-initialized), so the append writes in place.
+func compact(queues [][]int) {
+	for _, q := range queues {
+		rest := q[:0]
+		for _, v := range q {
+			if v > 0 {
+				rest = append(rest, v)
+			}
+		}
+		_ = rest
+	}
+}
+
+// outerScratch grows a buffer declared outside the nest: the backing
+// is reused across iterations, which is exactly the point.
+func outerScratch(grid [][]int) []int {
+	var out []int
+	for _, row := range grid {
+		for _, v := range row {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// setup is a flat single loop: per-cell setup allocations are exempt
+// by the depth>=2 hot-nest heuristic.
+func setup(n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, n)
+	}
+	return out
+}
+
+// errorPath feeds a variadic ...any sink: error formatting is exempt
+// from the boxing rule.
+func errorPath(grid [][]int, errf func(string, ...any)) {
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				errf("negative %d", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package hotalloc seeds per-iteration heap allocations inside loop
+// nests for the hotalloc analyzer: make/new, fresh composite literals,
+// append growth of nest-local slices, closures, and interface boxing.
+package hotalloc
+
+type scratch struct {
+	buf []int
+}
+
+var sink any
+
+func putAny(v any) { _ = v }
+
+func makes(grid [][]int) {
+	for _, row := range grid {
+		for range row {
+			tmp := make([]int, 8)  // want "make allocates every iteration"
+			m := make(map[int]int) // want "make allocates every iteration"
+			p := new(scratch)      // want "new allocates every iteration"
+			_, _, _ = tmp, m, p
+		}
+	}
+}
+
+func literals(grid [][]int) {
+	for _, row := range grid {
+		for _, v := range row {
+			fresh := []int{v} // want "slice literal allocates fresh backing"
+			box := &scratch{} // want "composite literal escapes to the heap"
+			_, _ = fresh, box
+		}
+	}
+}
+
+func closures(grid [][]int, visit func(func(int) bool)) {
+	for _, row := range grid {
+		for range row {
+			visit(func(int) bool { return true }) // want "hot-loop closure"
+		}
+	}
+}
+
+func appendMisuse(grid [][]int) {
+	var a, b []int
+	for _, row := range grid {
+		for _, v := range row {
+			a = append(b, v) // want "different destination"
+		}
+	}
+	_, _ = a, b
+}
+
+func freshGrowth(grid [][]int) {
+	for _, row := range grid {
+		var acc []int
+		for _, v := range row {
+			acc = append(acc, v) // want "declared inside the loop nest"
+		}
+		_ = acc
+	}
+}
+
+func boxing(grid [][]int) {
+	for _, row := range grid {
+		for _, v := range row {
+			putAny(v)     // want "boxed into interface parameter"
+			sink = any(v) // want "boxes its operand"
+		}
+	}
+}
+
+func stringCopy(rows [][]byte) {
+	for _, row := range rows {
+		for range row {
+			_ = string(row) // want "copies its operand"
+		}
+	}
+}

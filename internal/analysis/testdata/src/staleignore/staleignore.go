@@ -1,0 +1,45 @@
+// Package staleignore exercises the suppression-auditing analyzer:
+// every //lint:ignore directive must still match a live finding of a
+// named analyzer, or it is itself reported.
+package staleignore
+
+// consumed is a live suppression: the nopanic finding on the next line
+// keeps the directive fresh, so staleignore stays silent.
+func consumed() {
+	//lint:ignore nopanic testdata fixture demonstrating a consumed directive
+	panic("boom")
+}
+
+// wildcardConsumed is a live wildcard suppression.
+func wildcardConsumed() {
+	//lint:ignore * testdata fixture demonstrating a consumed wildcard
+	panic("boom")
+}
+
+// unknownName lists an analyzer the suite does not have; the nopanic
+// half keeps the directive consumed, so only the typo is reported.
+func unknownName() {
+	//lint:ignore nopanic,nosuchcheck fixture with a typoed analyzer name // want "unknown analyzer"
+	panic("boom")
+}
+
+// stale remembers a finding that was fixed long ago: nothing on this
+// line or the next still fires.
+func stale() int {
+	//lint:ignore nopanic the panic this once silenced was removed // want "stale //lint:ignore nopanic"
+	return 1
+}
+
+// staleWildcard cannot even say what it once silenced; the wildcard
+// does not get to suppress its own report.
+func staleWildcard() int {
+	//lint:ignore * nothing here fires anymore // want "no suite finding remains"
+	return 2
+}
+
+// meta names staleignore itself and is exempt from the consumption
+// check: such directives exist to silence this analyzer.
+func meta() int {
+	//lint:ignore staleignore kept deliberately while the next refactor lands
+	return 3
+}

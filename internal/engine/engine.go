@@ -80,6 +80,7 @@ func Phase(err error) string {
 // handled, nil otherwise. A nil ctx never cancels.
 func ForEachIndex(ctx context.Context, workers, n int, fn func(i int)) error {
 	if ctx == nil {
+		//lint:ignore ctxflow documented nil-ctx fallback: a nil ctx means "never cancel", and Background is exactly that
 		ctx = context.Background()
 	}
 	if n <= 0 {

@@ -93,6 +93,7 @@ func (o Options) ctx() context.Context {
 	if o.Ctx != nil {
 		return o.Ctx
 	}
+	//lint:ignore ctxflow Options.Ctx is the optional caller context; absent one, an uncancellable sweep is the documented default
 	return context.Background()
 }
 

@@ -290,6 +290,7 @@ func defaultSquareletSide(nw *network.Network) int {
 	livePos, _ := nw.LiveBSPositions()
 	for side := 4; side >= 2; side-- {
 		g := geom.NewGridCells(side)
+		//lint:ignore hotalloc grid probe runs once per evaluation over at most three candidate tessellations, outside the slot loop
 		counts := make([]int, g.NumCells())
 		for _, y := range livePos {
 			counts[g.CellIndexOf(y)]++

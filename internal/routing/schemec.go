@@ -149,7 +149,7 @@ func (s SchemeC) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evaluation
 
 	lambdaAccess := math.Inf(1)
 	for c := range centers {
-		for _, load := range []float64{upLoad[c], downLoad[c]} {
+		for _, load := range [2]float64{upLoad[c], downLoad[c]} {
 			if load == 0 {
 				continue
 			}

@@ -51,18 +51,31 @@ func (s TwoHopRelay) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evalua
 	nodeLoad := make([]float64, nw.NumMS())
 	lambdaPairs := math.Inf(1)
 	reach := a.Reach()
+
+	// Pair-loop scratch (hotalloc): the candidate-relay buffers and the
+	// spatial-probe closure are allocated once and reused across pairs;
+	// the closure reads the current pair through pairSrc/pairDst/pairHD
+	// instead of capturing per-iteration variables.
+	var (
+		relays           []int
+		weights          []float64
+		pairSrc, pairDst int
+		pairHD           geom.Point
+	)
+	collectRelay := func(id int) bool {
+		if id != pairSrc && id != pairDst && geom.Dist(homes[id], pairHD) < reach {
+			relays = append(relays, id)
+		}
+		return true
+	}
 	for src, dst := range tr.DestOf {
 		hs, hd := homes[src], homes[dst]
 		direct := a.MSMS(geom.Dist(hs, hd))
 
 		// Candidate relays: nodes whose home-point can meet both ends.
-		var relays []int
-		ix.ForEachWithin(hs, reach, func(id int) bool {
-			if id != src && id != dst && geom.Dist(homes[id], hd) < reach {
-				relays = append(relays, id)
-			}
-			return true
-		})
+		pairSrc, pairDst, pairHD = src, dst, hd
+		relays = relays[:0]
+		ix.ForEachWithin(hs, reach, collectRelay)
 		scale := 1.0
 		if len(relays) > maxRelays {
 			// Sample a subset; scale the aggregate up accordingly.
@@ -74,7 +87,7 @@ func (s TwoHopRelay) Evaluate(nw *network.Network, tr *traffic.Pattern) (*Evalua
 			relays = relays[:maxRelays]
 		}
 		pairCap := direct
-		var weights []float64
+		weights = weights[:0]
 		wsum := 0.0
 		for _, r := range relays {
 			w := math.Min(a.MSMS(geom.Dist(hs, homes[r])), a.MSMS(geom.Dist(homes[r], hd))) / 2

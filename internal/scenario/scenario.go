@@ -223,6 +223,20 @@ type cellScope struct {
 	Faults    *FaultSpec `json:"faults,omitempty"`
 }
 
+// gridOnlyFields declares the Scenario fields that only shape the
+// sweep's grid or presentation: editing them must NOT invalidate
+// previously computed cells, so they are deliberately excluded from
+// cellScope. The cachekey analyzer checks that every Scenario field is
+// either projected into cellScope or named here — a new field fails the
+// lint gate until its cache-invalidation semantics are declared.
+var gridOnlyFields = []string{
+	"Description", // presentation only
+	"Sizes",       // grid shape: each cell keys on its own n
+	"QuickSizes",  // grid shape under quick options
+	"Seeds",       // per-cell seed count: each seed keys separately
+	"Fit",         // post-sweep analysis over cached values
+}
+
 // CellScope renders the canonical cache scope of one grid cell at
 // network size n: deterministic JSON (fixed struct tree, no maps) over
 // exactly the scenario dimensions that determine the cell's value, so

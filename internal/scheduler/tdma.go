@@ -53,16 +53,23 @@ func ColorCells(centers []geom.Point, minSep float64) (*CellSchedule, error) {
 	for i := range colorOf {
 		colorOf[i] = -1
 	}
+	// usedBy[c] == v marks color c as taken by a neighbor of v: a stamp
+	// array allocated once and reused across vertices, instead of a
+	// fresh per-vertex set (hotalloc). Stamps never collide because each
+	// vertex is colored exactly once.
+	usedBy := make([]int, n)
+	for i := range usedBy {
+		usedBy[i] = -1
+	}
 	numColors := 0
 	for _, v := range order {
-		used := make(map[int]bool, len(adj[v]))
 		for _, u := range adj[v] {
 			if colorOf[u] >= 0 {
-				used[colorOf[u]] = true
+				usedBy[colorOf[u]] = v
 			}
 		}
 		c := 0
-		for used[c] {
+		for usedBy[c] == v {
 			c++
 		}
 		colorOf[v] = c

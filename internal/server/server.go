@@ -212,6 +212,7 @@ func newServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	reg := cfg.Registry
+	//lint:ignore ctxflow the daemon's base context is the process-lifetime root; Close cancels it, and request contexts derive from it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -558,7 +559,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() {
-		//lint:ignore goroleak Serve returns exactly once into a cap-1 buffer, so the send never blocks
+		//lint:ignore goroleak,ctxflow Serve returns exactly once into a cap-1 buffer, so the send never blocks and needs no Done arm
 		serveErr <- hs.Serve(ln)
 	}()
 	select {
@@ -566,7 +567,11 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return fmt.Errorf("server: serve %s: %w", addr, err)
 	case <-ctx.Done():
 	}
-	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	// Drain under the caller's values but not its cancellation: ctx is
+	// already done here (that is what triggered shutdown), so deriving
+	// the drain deadline from it directly would cancel the drain
+	// immediately instead of giving it DrainTimeout to finish.
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.DrainTimeout)
 	defer cancel()
 	drainErr := s.Shutdown(dctx)
 	httpErr := hs.Shutdown(dctx)

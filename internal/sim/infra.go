@@ -167,6 +167,31 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	// is constant over the run), and the drained transit buffer's
 	// backing is recycled for the next slot's handovers.
 	var msIx *spatial.Index
+	// The uplink absorb closure is allocated once here and reads the
+	// current slot and BS budget through upSlot/upMeasuring/upBudget, so
+	// the per-BS loop inside the slot loop never re-creates it (hotalloc).
+	var (
+		upBudget    int
+		upSlot      int
+		upMeasuring bool
+	)
+	absorb := func(i int) bool {
+		if len(srcQ[i]) > 0 && plan != nil && plan.Erased(upSlot, i) {
+			if upMeasuring {
+				rep.Erasures++
+			}
+			return upBudget > 0
+		}
+		for upBudget > 0 && len(srcQ[i]) > 0 {
+			p := srcQ[i][0]
+			srcQ[i] = srcQ[i][1:]
+			if !expired(p, upSlot, upMeasuring) {
+				transitQ[0] = append(transitQ[0], p)
+			}
+			upBudget--
+		}
+		return upBudget > 0
+	}
 	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {
 		measuring := slot >= cfg.Warmup
 		for i := 0; i < n; i++ {
@@ -201,25 +226,10 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 		} else {
 			msIx.Rebuild(pos)
 		}
+		upSlot, upMeasuring = slot, measuring
 		for _, b := range liveIDs {
-			budget := uplinks
-			msIx.ForEachWithin(nw.BSPos[b], rt, func(i int) bool {
-				if len(srcQ[i]) > 0 && plan != nil && plan.Erased(slot, i) {
-					if measuring {
-						rep.Erasures++
-					}
-					return budget > 0
-				}
-				for budget > 0 && len(srcQ[i]) > 0 {
-					p := srcQ[i][0]
-					srcQ[i] = srcQ[i][1:]
-					if !expired(p, slot, measuring) {
-						transitQ[0] = append(transitQ[0], p)
-					}
-					budget--
-				}
-				return budget > 0
-			})
+			upBudget = uplinks
+			msIx.ForEachWithin(nw.BSPos[b], rt, absorb)
 		}
 
 		// Downlink: each live BS delivers up to uplinks packets to

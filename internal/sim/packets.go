@@ -85,8 +85,8 @@ func RunTwoHop(nw *network.Network, tr *traffic.Pattern, cfg PacketConfig) (*Pac
 	// geometry depends only on the guard radius and node count, both
 	// constant over the run, so rebuilding in place fills the same
 	// buckets New would. Allocations inside the slot loop below are the
-	// allocs_per_cell axis of BENCH_sweep.json; a prospective hotalloc
-	// analyzer would flag new ones (TODO(hotalloc) in internal/analysis).
+	// allocs_per_cell axis of BENCH_sweep.json; the hotalloc analyzer
+	// (internal/analysis/hotalloc.go) flags new ones at lint time.
 	var ix *spatial.Index
 	var pairs []interference.Transmission
 	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {

@@ -10,6 +10,7 @@
 package hybridcap_test
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"hybridcap"
 	"hybridcap/internal/benchio"
 	"hybridcap/internal/cellcache"
+	"hybridcap/internal/engine"
 	"hybridcap/internal/experiments"
 	"hybridcap/internal/geom"
 	"hybridcap/internal/linkcap"
@@ -162,6 +164,82 @@ func recordWarmCellCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(rec.Speedup, "warmSpeedupX")
+}
+
+// BenchmarkStreamMemory compares the engine's materialized path
+// (engine.Run: every outcome held until the sweep ends) against the
+// streaming path (engine.Reduce folding into a mean aggregator) on a
+// synthetic 1024x1024-cell grid of cheap cells, and records the heap
+// each retains after the run in BENCH_sweep.json. The two must agree
+// bit for bit on every per-point mean; the streaming run's retained
+// heap stays O(points) however many cells the grid has, which is the
+// point of the streaming core.
+func BenchmarkStreamMemory(b *testing.B) {
+	const points, seeds = 1024, 1024
+	grid := engine.Grid{Points: points, Seeds: seeds, Workers: runtime.NumCPU()}
+	cell := func(point, seed int) (float64, error) {
+		// Cheap, pure and seed-dependent: the workload is the grid
+		// machinery itself, not the cell.
+		return 1 / float64(point+seed+1), nil
+	}
+	retained := func(run func() func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		hold := run()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		hold()
+		if after.HeapAlloc <= before.HeapAlloc {
+			return 0
+		}
+		return after.HeapAlloc - before.HeapAlloc
+	}
+
+	var matMeans, streamMeans [points]float64
+	var matBytes, streamBytes uint64
+	for i := 0; i < b.N; i++ {
+		matBytes = retained(func() func() {
+			outs := engine.Run(context.Background(), grid, cell)
+			return func() {
+				for p := range outs {
+					sum := 0.0
+					for _, o := range outs[p] {
+						sum += o.Value
+					}
+					matMeans[p] = sum / seeds
+				}
+			}
+		})
+		streamBytes = retained(func() func() {
+			agg := engine.NewMeanAgg(points)
+			if err := engine.Reduce(context.Background(), grid, cell, agg); err != nil {
+				b.Fatal(err)
+			}
+			return func() {
+				for p := 0; p < points; p++ {
+					mean, _, _, _ := agg.Point(p)
+					streamMeans[p] = mean
+				}
+			}
+		})
+	}
+	if matMeans != streamMeans {
+		b.Fatal("streaming means drifted from materialized means")
+	}
+	b.ReportMetric(float64(matBytes)/(1<<20), "materializedMiB")
+	b.ReportMetric(float64(streamBytes)/(1<<20), "streamingMiB")
+	now := time.Now().UTC().Format(time.RFC3339)
+	for _, rec := range []benchio.Record{
+		{Name: "BenchmarkStreamMemory/materialized", Workers: grid.Workers,
+			Cells: points * seeds, RetainedBytes: matBytes, UpdatedAt: now},
+		{Name: "BenchmarkStreamMemory/streaming", Workers: grid.Workers,
+			Cells: points * seeds, RetainedBytes: streamBytes, UpdatedAt: now},
+	} {
+		if err := benchio.Upsert(benchio.DefaultPath, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFigure1 regenerates Figure 1 (density contrast of

@@ -1,0 +1,142 @@
+// Command capmerge reassembles a sharded scenario sweep. Each argument
+// is a shard output directory (one `capsim -scenario ... -shard i/k
+// -out DIR` run: report, manifest, cells artifact); capmerge verifies
+// every shard carries the same canonical scenario hash and that the
+// shards form an exact disjoint cover of the sweep grid, then merges
+// them — in global grid order, through the engine's own aggregation
+// arithmetic — into a report and manifest byte-identical to an
+// unsharded run:
+//
+//	capsim -scenario sweep.json -shard 0/3 -out out/s0
+//	capsim -scenario sweep.json -shard 1/3 -out out/s1
+//	capsim -scenario sweep.json -shard 2/3 -out out/s2
+//	capmerge -o out/merged out/s0 out/s1 out/s2
+//
+// Overlapping shards, missing cells, or mismatched scenario hashes are
+// rejected with a nonzero exit.
+//
+// Resume: -resume lists the grid cells no shard provides (and which
+// shard of the declared split owns them) instead of merging, so an
+// interrupted shard can be re-run — with -cell-cache the completed
+// cells replay from the cache and only the missing ones compute:
+//
+//	capmerge -resume out/s0 out/s1 out/s2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridcap/internal/obs"
+	"hybridcap/internal/shardmerge"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "capmerge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir = flag.String("o", "out/merged", "directory for the merged report, CSV and manifest")
+		resume = flag.Bool("resume", false, "list missing grid cells instead of merging (exit 0; partial covers allowed)")
+	)
+	flag.Usage = func() {
+		// Usage text is best-effort; a broken stderr has no one to tell.
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: capmerge [-o DIR] [-resume] SHARD_DIR...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return fmt.Errorf("no shard directories given")
+	}
+
+	shards := make([]*shardmerge.Shard, 0, flag.NArg())
+	for _, dir := range flag.Args() {
+		s, err := shardmerge.LoadDir(dir)
+		if err != nil {
+			return err
+		}
+		shards = append(shards, s)
+	}
+
+	if *resume {
+		return printResume(shards)
+	}
+
+	res, err := shardmerge.Merge(shards)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Text())
+	if err := res.WriteFiles(*outDir); err != nil {
+		return err
+	}
+	fmt.Printf("\nmerged %d shards -> %s/%s.{txt,csv,manifest.json}\n", len(shards), *outDir, res.ID)
+	return nil
+}
+
+// printResume reports coverage: which cells are present, which are
+// missing, and — when a shard manifest declares the split — which shard
+// of that split owns each gap, so the operator knows exactly which
+// `capsim -shard i/k` invocations to re-run.
+func printResume(shards []*shardmerge.Shard) error {
+	gaps, err := shardmerge.Gaps(shards)
+	if err != nil {
+		return err
+	}
+	total := shards[0].Cells.GridCells
+	missing := 0
+	for _, g := range gaps {
+		missing += g.End - g.Start
+	}
+	fmt.Printf("scenario %s: %d/%d grid cells covered by %d shard(s)\n",
+		shards[0].Cells.Name, total-missing, total, len(shards))
+	if missing == 0 {
+		fmt.Println("cover complete: run capmerge without -resume to merge")
+		return nil
+	}
+	// Any loaded manifest that declares a shard split lets us name the
+	// owner of each gap; without one we can still list the cell ranges.
+	var count int
+	for _, s := range shards {
+		if s.Manifest.Shard != nil && s.Manifest.Shard.Count > 0 {
+			count = s.Manifest.Shard.Count
+			break
+		}
+	}
+	for _, g := range gaps {
+		if count > 0 {
+			fmt.Printf("missing cells [%d,%d): rerun shard(s) %s of %d\n",
+				g.Start, g.End, ownersOf(g, total, count), count)
+		} else {
+			fmt.Printf("missing cells [%d,%d)\n", g.Start, g.End)
+		}
+	}
+	fmt.Printf("%d cell(s) missing: rerun the listed shards (a shared -cell-cache replays completed cells), then capmerge again\n", missing)
+	return nil
+}
+
+// ownersOf names the shards of an i-of-count contiguous split that own
+// cells in the gap. Shard j of count owns [j*total/count,
+// (j+1)*total/count) — the same block arithmetic the engine uses.
+func ownersOf(g obs.CellRange, total, count int) string {
+	first, last := -1, -1
+	for j := 0; j < count; j++ {
+		lo, hi := j*total/count, (j+1)*total/count
+		if lo < g.End && g.Start < hi {
+			if first < 0 {
+				first = j
+			}
+			last = j
+		}
+	}
+	if first == last {
+		return fmt.Sprintf("%d", first)
+	}
+	return fmt.Sprintf("%d..%d", first, last)
+}

@@ -64,6 +64,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -112,6 +113,7 @@ func run(ctx context.Context) error {
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
 		outageCurve = flag.Bool("outage-curve", false, "sweep the BS outage fraction 0..1 and print the capacity curve")
 		scenarioArg = flag.String("scenario", "", "run a declarative scenario JSON file through the grid engine (uses -out/-quick/-seeds/-workers)")
+		shardArg    = flag.String("shard", "", "with -scenario: run only shard i of k (\"i/k\", e.g. 0/3) of the sweep grid; merge the shard outputs with capmerge")
 		bench       = flag.Bool("bench", false, "run the benchmark trajectory (serial vs parallel Table-I sweep) and write -bench-out")
 		benchOut    = flag.String("bench-out", benchio.DefaultPath, "benchmark trajectory JSON path (with -bench)")
 		benchSeeds  = flag.Int("bench-seeds", 4, "seeds per grid point for -bench")
@@ -140,7 +142,10 @@ func run(ctx context.Context) error {
 		})
 	}
 	if *scenarioArg != "" {
-		return runScenarioFile(ctx, *scenarioArg, common)
+		return runScenarioFile(ctx, *scenarioArg, *shardArg, common)
+	}
+	if *shardArg != "" {
+		return fmt.Errorf("-shard requires -scenario")
 	}
 	if *bench {
 		return runBench(common.Workers, *benchSeeds, *benchQuick, *benchOut, common.Clock())
@@ -373,11 +378,23 @@ func runServe(ctx context.Context, addr string, c *cli.Common, cfg server.Config
 // through the grid engine under the observability runtime selected by
 // the shared flags, and writes the report artifacts (including the run
 // manifest) plus any requested -metrics-out/-trace-out dumps. The
-// signal context cancels an in-flight sweep promptly.
-func runScenarioFile(ctx context.Context, path string, c *cli.Common) error {
+// signal context cancels an in-flight sweep promptly. A -shard spec
+// overrides the file's shard field and restricts the run to one block
+// of the sweep grid.
+func runScenarioFile(ctx context.Context, path, shardSpec string, c *cli.Common) error {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return err
+	}
+	if shardSpec != "" {
+		sp, err := parseShard(shardSpec)
+		if err != nil {
+			return err
+		}
+		sc.Shard = sp
+		if err := sc.Validate(); err != nil {
+			return err
+		}
 	}
 	rt := c.Runtime()
 	o := c.Options()
@@ -395,7 +412,30 @@ func runScenarioFile(ctx context.Context, path string, c *cli.Common) error {
 		if err := res.WriteFiles(c.Out); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s/%s.{txt,csv,manifest.json}\n", c.Out, res.ID)
+		if res.Cells != nil {
+			fmt.Printf("\nwrote %s/%s.{txt,csv,manifest.json,cells.json}\n", c.Out, res.ID)
+		} else {
+			fmt.Printf("\nwrote %s/%s.{txt,csv,manifest.json}\n", c.Out, res.ID)
+		}
 	}
 	return c.WriteObs(rt)
+}
+
+// parseShard parses a -shard spec of the form "i/k" (shard index i of k
+// total shards). Range validation happens in scenario.Validate, where
+// the grid size is known.
+func parseShard(spec string) (*scenario.ShardSpec, error) {
+	is, ks, ok := strings.Cut(spec, "/")
+	if !ok {
+		return nil, fmt.Errorf("-shard %q: want i/k, e.g. 0/3", spec)
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return nil, fmt.Errorf("-shard %q: bad index: %w", spec, err)
+	}
+	k, err := strconv.Atoi(ks)
+	if err != nil {
+		return nil, fmt.Errorf("-shard %q: bad count: %w", spec, err)
+	}
+	return &scenario.ShardSpec{Index: i, Count: k}, nil
 }

@@ -32,6 +32,14 @@ var deterministicPkgs = map[string]bool{
 	// from scope + seed, so ambient clock/env/randomness reads would
 	// undermine the cache's share-a-directory-across-machines contract.
 	"cellcache": true,
+	// cells is the per-cell outcome artifact a sharded run writes and
+	// capmerge folds back together; its bytes must reproduce exactly for
+	// the merged report to be byte-identical to an unsharded run.
+	"cells": true,
+	// shardmerge reassembles sharded sweeps into reports byte-identical
+	// to an unsharded run — any ambient nondeterminism would break that
+	// equivalence outright.
+	"shardmerge": true,
 }
 
 // hotAllocPkgs are the slot-loop hot paths where the scratch-arena

@@ -53,6 +53,11 @@ type Record struct {
 	// MemStats deltas), the trajectory's allocation-churn axis.
 	AllocsPerCell float64 `json:"allocs_per_cell,omitempty"`
 	BytesPerCell  float64 `json:"bytes_per_cell,omitempty"`
+	// RetainedBytes is the heap still live after the run (post-GC
+	// HeapAlloc delta with the run's outputs referenced) — the
+	// memory-footprint axis: a materialized sweep retains O(cells),
+	// a streaming one O(points).
+	RetainedBytes uint64 `json:"retained_bytes,omitempty"`
 	// UpdatedAt is an RFC 3339 timestamp of the last upsert.
 	UpdatedAt string `json:"updated_at,omitempty"`
 }

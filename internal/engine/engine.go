@@ -143,20 +143,14 @@ type Outcome[T any] struct {
 // tell completed work from preempted work without extra bookkeeping.
 func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) []Outcome[T] {
 	outs := make([]Outcome[T], n)
-	done := make([]bool, n)
-	err := ForEachIndex(ctx, workers, n, func(i int) {
-		v, err := guard(func() (T, error) { return fn(i) })
-		outs[i] = Outcome[T]{Value: v, Err: err}
-		done[i] = true
-	})
-	if err != nil {
-		cerr := CanceledErr(err)
-		for i := range outs {
-			if !done[i] {
-				outs[i] = Outcome[T]{Err: cerr}
-			}
-		}
-	}
+	// The outcome slice is materialized anyway, so the reorder window is
+	// unbounded: backpressure would only serialize the pool for nothing.
+	// The return is redundant here: cancellation already lands in the
+	// undispatched outcomes as PhaseCanceled errors, and a plain grid
+	// has no shard spec to mis-resolve.
+	_ = streamCells(ctx, Grid{Points: n, Seeds: 1, Workers: workers}, 0,
+		func(point, _ int) (T, error) { return fn(point) },
+		func(point, _ int, r cellOut[T]) { outs[point] = r.out })
 	return outs
 }
 
@@ -237,80 +231,95 @@ type Grid struct {
 	// CachedCellObserver it additionally learns which cells were
 	// replayed.
 	Cache CellCache
+	// ShardIndex and ShardCount restrict the run to one contiguous block
+	// of the grid: shard j of k owns the global cells [j*n/k, (j+1)*n/k)
+	// in grid order (point varying slowest), so the k shards form an
+	// exact disjoint cover. Cells keep their global coordinates — and
+	// therefore their pre-derived seeds — so any partition of the grid
+	// merges byte-identically to an unsharded run. ShardCount <= 0 runs
+	// the whole grid.
+	ShardIndex, ShardCount int
+	// Lookahead bounds how far evaluation may run ahead of in-order
+	// delivery on the streaming path (Stream/Reduce/Each): at most
+	// Workers + Lookahead completed cells are ever buffered. <= 0
+	// defaults to Workers. The materializing paths (Run/Map) hold every
+	// outcome anyway and ignore it.
+	Lookahead int
 }
 
-// Run evaluates cell over every grid coordinate and returns the
-// outcomes indexed [point][seed]. Results are byte-identical for every
-// worker count: cells only depend on their coordinates, and merging is
-// in grid order. OnCell hooks fire before Obs observations, both in
-// grid order. A canceled ctx stops scheduling new cells promptly;
+// Run evaluates cell over every covered grid coordinate and returns the
+// outcomes indexed [point][seed], spanning the whole grid. Results are
+// byte-identical for every worker count: cells only depend on their
+// coordinates, and merging is in grid order. OnCell hooks all fire
+// before any Obs observation, both passes in grid order over the
+// covered cells. A canceled ctx stops scheduling new cells promptly;
 // cells that already ran keep their outcomes and the rest carry
 // PhaseCanceled-tagged errors (see Map).
+//
+// Under a shard spec, cells outside the shard's block are neither
+// evaluated nor observed; their slots carry ErrOutsideShard. Run has no
+// error return, so a malformed shard spec is reported through the data:
+// every slot carries the range error and no cell runs.
 func Run[T any](ctx context.Context, g Grid, cell func(point, seed int) (T, error)) [][]Outcome[T] {
 	if g.Points <= 0 || g.Seeds <= 0 {
 		return nil
 	}
 	n := g.Points * g.Seeds
-	var durations []time.Duration
-	timed := cell
-	if g.Obs != nil && g.Clock != nil {
-		// Each worker writes only its own cell's slot, so the timing
-		// needs no synchronization and cannot perturb the results.
-		durations = make([]time.Duration, n)
-		timed = func(point, seed int) (T, error) {
-			t0 := g.Clock.Now()
-			v, err := cell(point, seed)
-			durations[point*g.Seeds+seed] = g.Clock.Now().Sub(t0)
-			return v, err
-		}
-	}
-	var fromCache []bool
-	eval := timed
-	if g.Cache != nil {
-		// A hit bypasses evaluation (and timing: replayed cells report
-		// zero duration); like durations, each worker writes only its own
-		// fromCache slot.
-		fromCache = make([]bool, n)
-		eval = func(point, seed int) (T, error) {
-			if raw, ok := g.Cache.Get(point, seed); ok {
-				if v, ok := raw.(T); ok {
-					fromCache[point*g.Seeds+seed] = true
-					return v, nil
-				}
-			}
-			v, err := timed(point, seed)
-			if err == nil {
-				g.Cache.Put(point, seed, v)
-			}
-			return v, err
-		}
-	}
-	flat := Map(ctx, g.Workers, n, func(i int) (T, error) {
-		return eval(i/g.Seeds, i%g.Seeds)
-	})
+	flat := make([]Outcome[T], n)
 	outs := make([][]Outcome[T], g.Points)
 	for p := range outs {
 		outs[p] = flat[p*g.Seeds : (p+1)*g.Seeds]
 	}
+	lo, hi, err := g.shardRange(n)
+	if err != nil {
+		for i := range flat {
+			flat[i] = Outcome[T]{Err: err}
+		}
+		return outs
+	}
+	for i := 0; i < lo; i++ {
+		flat[i] = Outcome[T]{Err: ErrOutsideShard}
+	}
+	for i := hi; i < n; i++ {
+		flat[i] = Outcome[T]{Err: ErrOutsideShard}
+	}
+	var durations []time.Duration
+	if g.Obs != nil && g.Clock != nil {
+		durations = make([]time.Duration, n)
+	}
+	var fromCache []bool
+	if g.Cache != nil {
+		fromCache = make([]bool, n)
+	}
+	// The outcome slice is materialized anyway, so the reorder window is
+	// unbounded (0); delivery only files each cell into its slot. The
+	// return is redundant: cancellation lands in the undispatched
+	// outcomes, and the shard spec was already resolved above.
+	_ = streamCells(ctx, g, 0, cell, func(p, s int, r cellOut[T]) {
+		i := p*g.Seeds + s
+		flat[i] = r.out
+		if durations != nil {
+			durations[i] = r.d
+		}
+		if fromCache != nil {
+			fromCache[i] = r.cached
+		}
+	})
 	if g.OnCell != nil {
-		for p := 0; p < g.Points; p++ {
-			for s := 0; s < g.Seeds; s++ {
-				g.OnCell(p, s, outs[p][s].Err)
-			}
+		for i := lo; i < hi; i++ {
+			g.OnCell(i/g.Seeds, i%g.Seeds, flat[i].Err)
 		}
 	}
 	if g.Obs != nil {
 		cobs, _ := g.Obs.(CachedCellObserver)
-		for p := 0; p < g.Points; p++ {
-			for s := 0; s < g.Seeds; s++ {
-				var d time.Duration
-				if durations != nil {
-					d = durations[p*g.Seeds+s]
-				}
-				g.Obs.ObserveCell(p, s, d, outs[p][s].Err)
-				if cobs != nil && fromCache != nil && fromCache[p*g.Seeds+s] {
-					cobs.ObserveCachedCell(p, s)
-				}
+		for i := lo; i < hi; i++ {
+			var d time.Duration
+			if durations != nil {
+				d = durations[i]
+			}
+			g.Obs.ObserveCell(i/g.Seeds, i%g.Seeds, d, flat[i].Err)
+			if cobs != nil && fromCache != nil && fromCache[i] {
+				cobs.ObserveCachedCell(i/g.Seeds, i%g.Seeds)
 			}
 		}
 	}

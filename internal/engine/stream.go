@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOutsideShard marks a grid cell that the run's shard does not own:
+// the cell was neither evaluated nor delivered. Only the materializing
+// Run path surfaces it (its outcome slice spans the whole grid);
+// Stream/Reduce simply never deliver foreign cells.
+var ErrOutsideShard = errors.New("engine: cell outside shard")
+
+// cellOut carries one evaluated cell through the reorder buffer: the
+// outcome plus the per-cell bookkeeping (duration, cache replay) that
+// used to live in run-length slices.
+type cellOut[T any] struct {
+	out    Outcome[T]
+	d      time.Duration
+	cached bool
+}
+
+// shardRange resolves the grid's shard spec against n total cells to
+// the half-open global index range [lo, hi) this run owns. Shards are
+// contiguous blocks: shard j of k owns [j*n/k, (j+1)*n/k), so every
+// shard's coverage is one span, the union is an exact disjoint cover,
+// and cells keep their global coordinates (and therefore their
+// pre-derived seeds). ShardCount <= 0 means the whole grid.
+func (g Grid) shardRange(n int) (lo, hi int, err error) {
+	if g.ShardCount <= 0 {
+		return 0, n, nil
+	}
+	if g.ShardIndex < 0 || g.ShardIndex >= g.ShardCount {
+		return 0, 0, fmt.Errorf("engine: shard index %d out of range [0,%d)", g.ShardIndex, g.ShardCount)
+	}
+	if g.ShardCount > n {
+		return 0, 0, fmt.Errorf("engine: shard count %d exceeds %d grid cells", g.ShardCount, n)
+	}
+	return g.ShardIndex * n / g.ShardCount, (g.ShardIndex + 1) * n / g.ShardCount, nil
+}
+
+// Coverage resolves the global cell range [lo, hi) the grid will
+// evaluate under its shard spec (the whole grid when unsharded), so
+// callers can record grid coverage without re-deriving the block math.
+func (g Grid) Coverage() (lo, hi int, err error) {
+	if g.Points <= 0 || g.Seeds <= 0 {
+		return 0, 0, nil
+	}
+	return g.shardRange(g.Points * g.Seeds)
+}
+
+// window is the streaming path's reorder bound: evaluation may run at
+// most this many cells ahead of in-order delivery, so at most window
+// completed cells are ever buffered. Lookahead defaults to Workers,
+// giving each worker one cell in flight and one buffered.
+func (g Grid) window() int {
+	la := g.Lookahead
+	if la <= 0 {
+		la = g.Workers
+	}
+	w := g.Workers + la
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// streamCells is the execution core shared by Stream, Reduce, Map and
+// Run: it evaluates the grid's covered cells (timing and cell-cache
+// handling included) on a bounded pool and calls deliver exactly once
+// per covered cell, in grid order, on the caller's goroutine. Workers
+// may run at most window cells ahead of delivery (window <= 0 means
+// unbounded run-ahead, for materializing adapters where backpressure
+// buys nothing), so the buffered state is O(workers + window) cells
+// instead of O(cells).
+//
+// Cancellation matches the historical Map contract: once ctx is done no
+// new cell is dispatched, in-flight cells finish and are delivered with
+// their real outcomes, and every covered cell that was never dispatched
+// is delivered with a shared PhaseCanceled-tagged ctx error. The return
+// value is the shard-spec resolution error, else ctx.Err().
+func streamCells[T any](ctx context.Context, g Grid, window int, cell func(point, seed int) (T, error), deliver func(point, seed int, r cellOut[T])) error {
+	if g.Points <= 0 || g.Seeds <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		//lint:ignore ctxflow documented nil-ctx fallback: a nil ctx means "never cancel", and Background is exactly that
+		ctx = context.Background()
+	}
+	lo, hi, err := g.shardRange(g.Points * g.Seeds)
+	if err != nil {
+		return err
+	}
+	timed := g.Obs != nil && g.Clock != nil
+	eval := func(point, seed int) cellOut[T] {
+		var r cellOut[T]
+		if g.Cache != nil {
+			if raw, ok := g.Cache.Get(point, seed); ok {
+				if v, ok := raw.(T); ok {
+					r.out.Value, r.cached = v, true
+					return r
+				}
+			}
+		}
+		var t0 time.Time
+		if timed {
+			t0 = g.Clock.Now()
+		}
+		v, err := guard(func() (T, error) { return cell(point, seed) })
+		if timed {
+			r.d = g.Clock.Now().Sub(t0)
+		}
+		r.out = Outcome[T]{Value: v, Err: err}
+		if g.Cache != nil && err == nil {
+			g.Cache.Put(point, seed, v)
+		}
+		return r
+	}
+
+	count := hi - lo
+	workers := g.Workers
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		var cerr error
+		for i := lo; i < hi; i++ {
+			p, s := i/g.Seeds, i%g.Seeds
+			if cerr == nil && ctx.Err() != nil {
+				cerr = CanceledErr(ctx.Err())
+			}
+			if cerr != nil {
+				deliver(p, s, cellOut[T]{out: Outcome[T]{Err: cerr}})
+				continue
+			}
+			deliver(p, s, eval(p, s))
+		}
+		return ctx.Err()
+	}
+
+	if window <= 0 || window > count {
+		window = count
+	}
+	if window < workers {
+		window = workers
+	}
+	var (
+		mu       sync.Mutex
+		ready    = sync.NewCond(&mu) // delivery waits for the frontier cell or pool exit
+		slots    = sync.NewCond(&mu) // workers wait for reorder-window room
+		next     = lo
+		frontier = lo
+		buf      = make(map[int]cellOut[T], window)
+		poolDone bool
+	)
+	// Workers parked on slots cannot see ctx end on their own; wake them
+	// so a canceled run drains instead of deadlocking.
+	stopWatch := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		slots.Broadcast()
+		mu.Unlock()
+	})
+	defer stopWatch()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				for next < hi && next-frontier >= window && ctx.Err() == nil {
+					slots.Wait()
+				}
+				if next >= hi || ctx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				r := eval(i/g.Seeds, i%g.Seeds)
+				mu.Lock()
+				buf[i] = r
+				if i == frontier {
+					ready.Signal()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		// Every dispatched cell completes before the pool exits, so once
+		// poolDone is set a missing frontier cell means "never dispatched".
+		wg.Wait()
+		mu.Lock()
+		poolDone = true
+		ready.Signal()
+		mu.Unlock()
+	}()
+	var cerr error
+	for i := lo; i < hi; i++ {
+		mu.Lock()
+		for {
+			if r, ok := buf[i]; ok {
+				delete(buf, i)
+				frontier = i + 1
+				slots.Broadcast()
+				mu.Unlock()
+				deliver(i/g.Seeds, i%g.Seeds, r)
+				break
+			}
+			if poolDone {
+				mu.Unlock()
+				if cerr == nil {
+					cerr = CanceledErr(ctx.Err())
+				}
+				deliver(i/g.Seeds, i%g.Seeds, cellOut[T]{out: Outcome[T]{Err: cerr}})
+				break
+			}
+			ready.Wait()
+		}
+	}
+	return ctx.Err()
+}
+
+// Stream evaluates the grid's covered cells and delivers every outcome
+// to deliver in grid order on the caller's goroutine, holding only
+// O(workers + lookahead) completed cells at any moment — the streaming
+// alternative to Run for aggregating consumers, and the only engine
+// path whose memory does not scale with the grid. Unlike Run (which
+// fires all OnCell hooks and then all observations after the grid
+// completes, a contract its callers pin), Stream interleaves per cell:
+// OnCell, then the Obs observation, then deliver — still strictly in
+// grid order, so the observed stream is byte-identical for every worker
+// count. A canceled ctx stops dispatch promptly; undelivered cells
+// arrive with PhaseCanceled-tagged errors and the ctx error is
+// returned. An invalid shard spec is returned as an error before any
+// cell runs.
+func Stream[T any](ctx context.Context, g Grid, cell func(point, seed int) (T, error), deliver func(point, seed int, out Outcome[T])) error {
+	cobs, _ := g.Obs.(CachedCellObserver)
+	return streamCells(ctx, g, g.window(), cell, func(p, s int, r cellOut[T]) {
+		if g.OnCell != nil {
+			g.OnCell(p, s, r.out.Err)
+		}
+		if g.Obs != nil {
+			g.Obs.ObserveCell(p, s, r.d, r.out.Err)
+			if cobs != nil && r.cached {
+				cobs.ObserveCachedCell(p, s)
+			}
+		}
+		if deliver != nil {
+			deliver(p, s, r.out)
+		}
+	})
+}
+
+// Reducer folds a stream of cell outcomes. Cells arrive in grid order
+// on a single goroutine, so implementations need no synchronization and
+// deterministic folds (running sums, first-error capture, quantile
+// estimators) produce byte-identical state for every worker count.
+type Reducer[T any] interface {
+	Cell(point, seed int, out Outcome[T])
+}
+
+// Reduce evaluates the grid and folds every covered cell through the
+// reducers, in grid order, without materializing outcomes — the
+// bounded-memory aggregation path (see Stream for delivery semantics).
+func Reduce[T any](ctx context.Context, g Grid, cell func(point, seed int) (T, error), reducers ...Reducer[T]) error {
+	return Stream(ctx, g, cell, func(p, s int, out Outcome[T]) {
+		for _, r := range reducers {
+			r.Cell(p, s, out)
+		}
+	})
+}
+
+// Each evaluates fn over the indices 0..n-1 on a bounded pool and
+// delivers each outcome in index order through the bounded reorder
+// window — the streaming replacement for Map when the caller only folds
+// the outcomes (FirstErr-style consumers, running sums): nothing
+// proportional to n is ever held alive. Cancellation semantics match
+// Map: completed indices deliver their real outcomes, undispatched ones
+// a PhaseCanceled-tagged error; the ctx error is returned.
+func Each[T any](ctx context.Context, workers, n int, fn func(i int) (T, error), deliver func(i int, out Outcome[T])) error {
+	g := Grid{Points: n, Seeds: 1, Workers: workers}
+	return streamCells(ctx, g, g.window(), func(point, _ int) (T, error) {
+		return fn(point)
+	}, func(point, _ int, r cellOut[T]) {
+		deliver(point, r.out)
+	})
+}
+
+// meanAcc is one grid point's running tolerant-mean state.
+type meanAcc struct {
+	sum       float64
+	ok        int
+	covered   int
+	firstErr  error
+	firstSeed int
+}
+
+// MeanAgg is the streaming counterpart of Mean: per-point tolerant
+// means folded cell by cell in O(points) memory. Because cells arrive
+// in grid order, the per-point sum accumulates in seed order — the
+// exact float operations Mean performs on a materialized slice — so the
+// two agree bit for bit.
+type MeanAgg struct {
+	acc []meanAcc
+}
+
+// NewMeanAgg prepares the aggregator for a grid with the given point
+// count.
+func NewMeanAgg(points int) *MeanAgg {
+	acc := make([]meanAcc, points)
+	for i := range acc {
+		acc[i].firstSeed = -1
+	}
+	return &MeanAgg{acc: acc}
+}
+
+// Cell implements Reducer[float64].
+func (a *MeanAgg) Cell(point, seed int, out Outcome[float64]) {
+	p := &a.acc[point]
+	p.covered++
+	if out.Err != nil {
+		if p.firstErr == nil {
+			p.firstErr, p.firstSeed = out.Err, seed
+		}
+		return
+	}
+	p.sum += out.Value
+	p.ok++
+}
+
+// Point reports one point's aggregate with the Mean contract: the mean
+// over surviving seeds, the survivor count, and the first failure by
+// seed order. ok == 0 means every delivered seed failed.
+func (a *MeanAgg) Point(point int) (mean float64, ok int, firstErr error, firstSeed int) {
+	p := a.acc[point]
+	if p.ok == 0 {
+		return 0, 0, p.firstErr, p.firstSeed
+	}
+	return p.sum / float64(p.ok), p.ok, p.firstErr, p.firstSeed
+}
+
+// Covered reports how many of the point's cells were delivered: the
+// full seed count on a whole-grid run, possibly fewer (or zero) under a
+// shard.
+func (a *MeanAgg) Covered(point int) int { return a.acc[point].covered }
+
+// FirstErrAgg is the streaming counterpart of FirstErr: it captures the
+// first failed outcome in grid order and nothing else, so error-only
+// consumers hold O(1) state instead of every cell result.
+type FirstErrAgg[T any] struct {
+	// Err is the first failure in grid order, nil while none arrived.
+	Err error
+	// Point and Seed locate the failure; only meaningful when Err is
+	// non-nil.
+	Point, Seed int
+}
+
+// Cell implements Reducer[T].
+func (a *FirstErrAgg[T]) Cell(point, seed int, out Outcome[T]) {
+	if out.Err != nil && a.Err == nil {
+		a.Err, a.Point, a.Seed = out.Err, point, seed
+	}
+}
+
+// CountAgg is the streaming counterpart of Count: a running Stats tally
+// in O(1) memory.
+type CountAgg[T any] struct {
+	Stats Stats
+}
+
+// Cell implements Reducer[T].
+func (a *CountAgg[T]) Cell(_, _ int, out Outcome[T]) {
+	a.Stats.Cells++
+	if out.Err == nil {
+		a.Stats.OK++
+	}
+}
+
+// ValuesAgg is the compatibility aggregator for consumers that truly
+// need every outcome: it materializes the grid, deliberately O(cells),
+// for callers migrating from Run one step at a time.
+type ValuesAgg[T any] struct {
+	// Outs is the materialized grid, indexed [point][seed].
+	Outs [][]Outcome[T]
+}
+
+// NewValuesAgg prepares the materializing aggregator for a points x
+// seeds grid.
+func NewValuesAgg[T any](points, seeds int) *ValuesAgg[T] {
+	outs := make([][]Outcome[T], points)
+	flat := make([]Outcome[T], points*seeds)
+	for p := range outs {
+		outs[p] = flat[p*seeds : (p+1)*seeds]
+	}
+	return &ValuesAgg[T]{Outs: outs}
+}
+
+// Cell implements Reducer[T].
+func (a *ValuesAgg[T]) Cell(point, seed int, out Outcome[T]) {
+	a.Outs[point][seed] = out
+}

@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"hybridcap/internal/cellcache"
+	"hybridcap/internal/cells"
 	"hybridcap/internal/faults"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/network"
@@ -50,6 +51,10 @@ type Result struct {
 	// scenario hash, the resolved grid, cache activity and per-phase
 	// cell tallies. Nil for experiments that are not scenario sweeps.
 	Manifest *obs.Manifest
+	// Cells is the raw per-cell artifact of a sharded scenario run,
+	// written alongside the report for shard-merge tooling
+	// (cmd/capmerge). Nil for unsharded runs.
+	Cells *cells.File
 }
 
 // Options tunes experiment cost.

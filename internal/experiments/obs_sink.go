@@ -139,15 +139,20 @@ func faultsLine(sc *scenario.Scenario) string {
 }
 
 // buildManifest assembles the run manifest for a scenario run: the
-// canonical scenario hash, the resolved grid, the fault plan, the
-// kernel-cache activity over the run, and every phase tally the runtime
-// collected.
+// shard-blind canonical scenario hash (equal to the full hash for
+// unsharded runs), the resolved grid with its coverage, the shard
+// identity when partial, the fault plan, the kernel-cache activity over
+// the run, and every phase tally the runtime collected.
 func buildManifest(rt *obs.Runtime, sc *scenario.Scenario, o Options, sizes []int, before, after mobility.CacheStats) (*obs.Manifest, error) {
-	hash, err := sc.SHA256()
+	hash, err := sc.BaseSHA256()
 	if err != nil {
 		return nil, err
 	}
-	return &obs.Manifest{
+	lo, hi, err := shardGrid(sc, sizes, o.seeds()).Coverage()
+	if err != nil {
+		return nil, err
+	}
+	m := &obs.Manifest{
 		Schema:         obs.ManifestSchema,
 		Name:           sc.Name,
 		ScenarioSHA256: hash,
@@ -155,11 +160,17 @@ func buildManifest(rt *obs.Runtime, sc *scenario.Scenario, o Options, sizes []in
 		Seeds:          o.seeds(),
 		Workers:        o.workers(),
 		Faults:         faultsLine(sc),
+		GridCells:      len(sizes) * o.seeds(),
+		Coverage:       []obs.CellRange{{Start: lo, End: hi}},
 		Cache: obs.CacheDelta{
 			Hits:     after.Hits - before.Hits,
 			Misses:   after.Misses - before.Misses,
 			Bypasses: after.Bypasses - before.Bypasses,
 		},
 		Phases: rt.Tallies(),
-	}, nil
+	}
+	if sc.Shard != nil {
+		m.Shard = &obs.ShardInfo{Index: sc.Shard.Index, Count: sc.Shard.Count}
+	}
+	return m, nil
 }

@@ -57,6 +57,11 @@ func (r *Result) WriteFiles(dir string) error {
 			return fmt.Errorf("experiments: %w", err)
 		}
 	}
+	if r.Cells != nil {
+		if err := r.Cells.WriteFile(filepath.Join(dir, r.ID+".cells.json")); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
 	if len(r.Series) == 0 {
 		return nil
 	}

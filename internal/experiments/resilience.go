@@ -40,8 +40,14 @@ func Resilience(o Options) (*Result, error) {
 		lambda            float64
 		degraded, dropped int
 	}
+	// The seed grids fold through the streaming path (engine.Each):
+	// outcomes arrive in index order, so the running sums match a
+	// materialized slice bit for bit while only the first failure and
+	// the accumulators stay alive — no per-seed outcome slice.
 	evalAt := func(fc faults.Config) (lambda float64, degraded, dropped int, err error) {
-		outs := engine.Map(o.ctx(), o.workers(), o.seeds(), func(s int) (seedOutcome, error) {
+		var firstErr engine.FirstErrAgg[seedOutcome]
+		sum := 0.0
+		eerr := engine.Each(o.ctx(), o.workers(), o.seeds(), func(s int) (seedOutcome, error) {
 			plan, perr := faults.New(fc)
 			if perr != nil {
 				return seedOutcome{}, engine.ConstructErr(perr)
@@ -54,20 +60,22 @@ func Resilience(o Options) (*Result, error) {
 			if terr != nil {
 				return seedOutcome{}, engine.ConstructErr(terr)
 			}
-			ev, eerr := scheme.Evaluate(nw, tr)
-			if eerr != nil {
-				return seedOutcome{}, engine.EvaluateErr(eerr)
+			ev, serr := scheme.Evaluate(nw, tr)
+			if serr != nil {
+				return seedOutcome{}, engine.EvaluateErr(serr)
 			}
 			return seedOutcome{lambda: ev.Lambda, degraded: ev.Degraded, dropped: ev.Dropped}, nil
-		})
-		if err := engine.FirstErr(outs); err != nil {
-			return 0, 0, 0, err
-		}
-		sum := 0.0
-		for _, out := range outs {
+		}, func(s int, out engine.Outcome[seedOutcome]) {
+			firstErr.Cell(s, 0, out)
 			sum += out.Value.lambda
 			degraded += out.Value.degraded
 			dropped += out.Value.dropped
+		})
+		if firstErr.Err != nil {
+			return 0, 0, 0, firstErr.Err
+		}
+		if eerr != nil {
+			return 0, 0, 0, eerr
 		}
 		return sum / float64(o.seeds()), degraded / o.seeds(), dropped / o.seeds(), nil
 	}
@@ -78,7 +86,9 @@ func Resilience(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	floors := engine.Map(o.ctx(), o.workers(), o.seeds(), func(s int) (float64, error) {
+	var floorErr engine.FirstErrAgg[float64]
+	floorSum := 0.0
+	ferr := engine.Each(o.ctx(), o.workers(), o.seeds(), func(s int) (float64, error) {
 		nw, tr, ierr := instance(p, uint64(90+s), network.Grid)
 		if ierr != nil {
 			return 0, engine.ConstructErr(ierr)
@@ -88,13 +98,15 @@ func Resilience(o Options) (*Result, error) {
 			return 0, engine.EvaluateErr(eerr)
 		}
 		return ev.Lambda, nil
-	})
-	if err := engine.FirstErr(floors); err != nil {
-		return nil, err
-	}
-	floorSum := 0.0
-	for _, out := range floors {
+	}, func(s int, out engine.Outcome[float64]) {
+		floorErr.Cell(s, 0, out)
 		floorSum += out.Value
+	})
+	if floorErr.Err != nil {
+		return nil, floorErr.Err
+	}
+	if ferr != nil {
+		return nil, ferr
 	}
 	floor := floorSum / float64(o.seeds())
 	res.Rows = append(res.Rows,

@@ -6,6 +6,8 @@ import (
 
 	"hybridcap/internal/asciiplot"
 	"hybridcap/internal/capacity"
+	"hybridcap/internal/cells"
+	"hybridcap/internal/engine"
 	"hybridcap/internal/measure"
 	"hybridcap/internal/mobility"
 	"hybridcap/internal/obs"
@@ -22,6 +24,13 @@ import (
 // built-in Table-I regimes (Entry.Scenarios) execute through the same
 // path. A canceled ctx stops the sweep promptly and fails the run with
 // the context error — a canceled run never yields a partial Result.
+//
+// A sharded scenario (sc.Shard set) evaluates only its block of the
+// global grid: the Result carries the shard's partial series, a cells
+// artifact with the raw per-cell outcomes, and a manifest recording the
+// shard identity and grid coverage; fits and charts are deferred to the
+// merged run (cmd/capmerge), whose output is byte-identical to an
+// unsharded run of the same scenario.
 func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -39,14 +48,60 @@ func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result
 		o.Obs = rt
 	}
 	sizes := o.sizes(sc.SizesFor(false), sc.SizesFor(true))
+	seeds := o.seeds()
+	var rec cellRecorder
+	var cellsFile *cells.File
+	if sc.Shard != nil {
+		// The static Validate bound uses the declared grid; the resolved
+		// one (quick sizes, defaulted seeds) may be smaller.
+		if err := sc.Shard.CheckGrid(sc.Name, len(sizes)*seeds); err != nil {
+			return nil, err
+		}
+		var err error
+		cellsFile, rec, err = newCellsRecorder(sc, sizes, seeds)
+		if err != nil {
+			return nil, err
+		}
+	}
 	rt.Push("scenario " + sc.Name)
 	cacheBefore := mobility.ReadCacheStats()
-	series, err := sweepScenario(o, sc, sizes)
+	series, err := sweepScenario(o, sc, sizes, rec)
 	cacheAfter := mobility.ReadCacheStats()
 	rt.Pop()
 	if err != nil {
 		return nil, err
 	}
+	res, err := AssembleScenario(sc, sizes, seeds, series)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Shard != nil {
+		lo, hi, cerr := shardGrid(sc, sizes, seeds).Coverage()
+		if cerr != nil {
+			return nil, cerr
+		}
+		res.Rows = append(res.Rows, fmt.Sprintf("shard %d/%d: cells [%d,%d) of %d",
+			sc.Shard.Index, sc.Shard.Count, lo, hi, len(sizes)*seeds))
+		res.Cells = cellsFile
+	}
+	man, err := buildManifest(rt, sc, o, sizes, cacheBefore, cacheAfter)
+	if err != nil {
+		return nil, err
+	}
+	res.Manifest = man
+	return res, nil
+}
+
+// AssembleScenario packages a scenario sweep's measured series as a
+// Result: the description, the report rows (grid header, fault line,
+// per-point coverage, regime classification), the requested power-law
+// fit and the ascii chart. It is shared by RunScenario and the
+// shard-merge path (cmd/capmerge), so a merged report is assembled by
+// exactly the code an unsharded run uses — the byte-identity guarantee
+// is structural, not re-implemented. For a sharded scenario the fit and
+// chart are skipped: one shard's partial series is not the artifact the
+// paper plots.
+func AssembleScenario(sc *scenario.Scenario, sizes []int, seeds int, series *measure.Series) (*Result, error) {
 	desc := sc.Description
 	if desc == "" {
 		desc = fmt.Sprintf("scenario %s", sc.Name)
@@ -62,7 +117,7 @@ func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result
 		return nil, err
 	}
 	res.Rows = append(res.Rows, fmt.Sprintf("schemes %v, placement %s, %d sizes x %d seeds",
-		sc.Schemes, placement, len(sizes), o.seeds()))
+		sc.Schemes, placement, len(sizes), seeds))
 	if line := faultsLine(sc); line != "" {
 		res.Rows = append(res.Rows, line)
 	}
@@ -74,6 +129,9 @@ func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result
 	regime, _ := capacity.Classify(p)
 	res.Rows = append(res.Rows, fmt.Sprintf("regime %v, theory capacity %v, optimal RT %v",
 		regime, capacity.PerNodeCapacity(p), capacity.OptimalRT(p)))
+	if sc.Shard != nil {
+		return res, nil
+	}
 	if sc.Fit {
 		fit, err := series.Fit()
 		if err != nil {
@@ -87,10 +145,54 @@ func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result
 		return nil, err
 	}
 	res.Ascii = ascii
-	man, err := buildManifest(rt, sc, o, sizes, cacheBefore, cacheAfter)
-	if err != nil {
-		return nil, err
-	}
-	res.Manifest = man
 	return res, nil
+}
+
+// shardGrid is the engine grid shape of a scenario's resolved sweep,
+// with its shard spec installed (no-op when unsharded).
+func shardGrid(sc *scenario.Scenario, sizes []int, seeds int) engine.Grid {
+	g := engine.Grid{Points: len(sizes), Seeds: seeds}
+	if sc.Shard != nil {
+		g.ShardIndex, g.ShardCount = sc.Shard.Index, sc.Shard.Count
+	}
+	return g
+}
+
+// newCellsRecorder prepares the cells artifact for a sharded run: the
+// shard-stripped canonical scenario (the sweep's shard-blind content
+// address) plus a recorder appending every covered cell outcome in grid
+// order.
+func newCellsRecorder(sc *scenario.Scenario, sizes []int, seeds int) (*cells.File, cellRecorder, error) {
+	base := sc.WithoutShard()
+	baseJSON, err := base.Marshal()
+	if err != nil {
+		return nil, nil, err
+	}
+	baseHash, err := base.SHA256()
+	if err != nil {
+		return nil, nil, err
+	}
+	f := &cells.File{
+		Schema:         cells.Schema,
+		Name:           sc.Name,
+		ScenarioSHA256: baseHash,
+		Scenario:       string(baseJSON),
+		Sizes:          append([]int(nil), sizes...),
+		Seeds:          seeds,
+		GridCells:      len(sizes) * seeds,
+	}
+	rec := func(point, seed int, cellSeed uint64, out engine.Outcome[float64]) {
+		c := cells.Cell{
+			Index: point*seeds + seed,
+			N:     sizes[point],
+			Seed:  cellSeed,
+			Value: out.Value,
+		}
+		if out.Err != nil {
+			c.Err = out.Err.Error()
+			c.Value = 0
+		}
+		f.Cells = append(f.Cells, c)
+	}
+	return f, rec, nil
 }

@@ -169,7 +169,7 @@ func NoBSCapacity(o Options) (*Result, error) {
 		XName:       "n",
 		Fits:        map[string]*measure.Fit{},
 	}
-	lam, err := sweepScenario(o, sc, sizes)
+	lam, err := sweepScenario(o, sc, sizes, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -454,7 +454,7 @@ func WeakNoBS(o Options) (*Result, error) {
 		XName:       "n",
 		Fits:        map[string]*measure.Fit{},
 	}
-	lam, err := sweepScenario(o, sc, sizes)
+	lam, err := sweepScenario(o, sc, sizes, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -143,18 +143,48 @@ type scopeFn func(n int) ([]byte, error)
 // declarative scenario path; bespoke eval closures pass a nil scope and
 // stay uncached, since nothing canonical describes them).
 func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, fc *faults.Config, scope scopeFn, eval evalFn) (*measure.Series, error) {
+	return sweepLambdaShard(o, name, sizes, base, placement, fc, scope, nil, nil, eval)
+}
+
+// cellRecorder receives every covered cell's outcome — with the cell's
+// derived rng seed — in grid order; sharded scenario runs use it to
+// assemble the cells artifact that shard-merge tooling consumes.
+type cellRecorder func(point, seed int, cellSeed uint64, out engine.Outcome[float64])
+
+// sweepLambdaShard is the streaming sweep core: cells fan out through
+// the engine's bounded pool and fold into a per-point mean aggregator
+// in grid order, so the series is byte-identical to a serial run for
+// every worker count while the sweep holds O(points + workers) state
+// instead of materializing the grid. An optional shard spec restricts
+// the run to one contiguous block of the global grid (cells keep their
+// global coordinates and seeds, so shard outputs merge byte-identically
+// to an unsharded run).
+//
+// Failing seeds (errors or panics) are tolerated: a point aggregates
+// its surviving seeds and records coverage in the series' OK/Attempts
+// counters. Unsharded, a point losing every seed aborts the sweep,
+// reporting the point's first failure by seed order; under a shard the
+// point is simply left out of the series (whether the full point is
+// dead is the merge's call, not one shard's).
+func sweepLambdaShard(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, fc *faults.Config, scope scopeFn, shard *scenario.ShardSpec, rec cellRecorder, eval evalFn) (*measure.Series, error) {
 	seeds := o.seeds()
 	src := rng.New(0xE).Derive("sweep").Derive(name)
-	cells := make([]sweepCell, 0, len(sizes)*seeds)
-	for _, n := range sizes {
+	params := make([]scaling.Params, len(sizes))
+	srcs := make([]rng.Source, len(sizes))
+	for i, n := range sizes {
 		p := base.WithN(n)
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("experiments: %s at n=%d: %w", name, n, err)
 		}
-		nsrc := src.DeriveN("n", n)
-		for s := 0; s < seeds; s++ {
-			cells = append(cells, sweepCell{params: p, seed: nsrc.DeriveN("seed", s).Uint64()})
-		}
+		params[i] = p
+		srcs[i] = src.DeriveN("n", n)
+	}
+	// Cell seeds derive lazily from the point's source: rng derivation is
+	// a pure function of the source value, so worker goroutines may
+	// derive concurrently and the sweep keeps O(points) seed state
+	// instead of a materialized cell list.
+	cellSeed := func(point, seed int) uint64 {
+		return srcs[point].DeriveN("seed", seed).Uint64()
 	}
 
 	// Bracket the sweep in a phase span and route every cell outcome
@@ -162,29 +192,46 @@ func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, p
 	// so the published stream is identical for every worker count.
 	ctx := o.ctx()
 	g := engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()}
+	if shard != nil {
+		g.ShardIndex, g.ShardCount = shard.Index, shard.Count
+	}
 	if o.CellCache != nil && scope != nil {
-		cache, err := newSweepCellCache(o.CellCache, scope, sizes, seeds, cells)
+		cache, err := newSweepCellCache(o.CellCache, scope, sizes, cellSeed)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
 		g.Cache = cache
 	}
+	agg := engine.NewMeanAgg(len(sizes))
 	finish := observeGrid(o, "sweep "+name, &g, sizes)
-	outs := engine.Run(ctx, g,
+	serr := engine.Stream(ctx, g,
 		func(point, seed int) (float64, error) {
-			return runCell(cells[point*seeds+seed], placement, fc, eval)
+			return runCell(sweepCell{params: params[point], seed: cellSeed(point, seed)}, placement, fc, eval)
+		},
+		func(point, seed int, out engine.Outcome[float64]) {
+			agg.Cell(point, seed, out)
+			if rec != nil {
+				rec(point, seed, cellSeed(point, seed), out)
+			}
 		})
 	finish()
 
 	// A canceled sweep must fail as a whole: partial grids would look
 	// like degraded-but-valid data, and a daemon must never cache them.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	// An invalid shard spec surfaces here too, before any cell ran.
+	if serr != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, serr)
 	}
 
 	series := &measure.Series{Name: name}
 	for i, n := range sizes {
-		mean, ok, firstErr, firstSeed := engine.Mean(outs[i])
+		mean, ok, firstErr, firstSeed := agg.Point(i)
+		if shard != nil {
+			if covered := agg.Covered(i); covered > 0 && ok > 0 {
+				series.AddCounted(float64(n), mean, ok, covered)
+			}
+			continue
+		}
 		if ok == 0 {
 			wrapped := fmt.Errorf("experiments: %s at n=%d seed %d: %w", name, n, firstSeed, firstErr)
 			return nil, fmt.Errorf("experiments: %s at n=%d: all %d seeds failed: %w", name, n, seeds, wrapped)
@@ -196,31 +243,35 @@ func sweepLambdaWith(o Options, name string, sizes []int, base scaling.Params, p
 
 // sweepScenario runs a declarative scenario's lambda sweep over the
 // resolved size grid: the scenario's name salts the seed derivation,
-// its scheme set scores each instance, and its optional fault plan is
-// installed into every cell.
-func sweepScenario(o Options, sc *scenario.Scenario, sizes []int) (*measure.Series, error) {
+// its scheme set scores each instance, its optional fault plan is
+// installed into every cell, and its optional shard spec selects the
+// block of the global grid this process evaluates. rec, if set,
+// receives every covered cell outcome (the cells-artifact hook).
+func sweepScenario(o Options, sc *scenario.Scenario, sizes []int, rec cellRecorder) (*measure.Series, error) {
 	placement, err := sc.PlacementScheme()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scenario %s: %w", sc.Name, err)
 	}
-	return sweepLambdaWith(o, sc.Name, sizes, sc.Base.Params(0), placement, sc.FaultConfig(), sc.CellScope, scenarioEval(sc.Schemes))
+	return sweepLambdaShard(o, sc.Name, sizes, sc.Base.Params(0), placement, sc.FaultConfig(), sc.CellScope, sc.Shard, rec, scenarioEval(sc.Schemes))
 }
 
 // sweepCellCache adapts the persistent cell store to the engine's
 // CellCache: grid coordinates map to (scope, n, derived seed) keys, so
 // a cell hits if and only if the exact same instance would be rebuilt.
-// Gets and Puts run on worker goroutines; the adapter's state is
-// read-only after construction and the store is concurrency-safe.
+// Keys are shard-blind (global coordinates, derived seeds), so a resumed
+// or re-partitioned sweep replays another run's cells. Gets and Puts run
+// on worker goroutines; the adapter's state is read-only after
+// construction, the seed derivation is pure, and the store is
+// concurrency-safe.
 type sweepCellCache struct {
 	store  *cellcache.Store
 	scopes [][]byte // per point
 	sizes  []int
-	cells  []sweepCell
-	seeds  int
+	seed   func(point, seed int) uint64
 }
 
 // newSweepCellCache precomputes the per-point scopes for a sweep.
-func newSweepCellCache(store *cellcache.Store, scope scopeFn, sizes []int, seeds int, cells []sweepCell) (*sweepCellCache, error) {
+func newSweepCellCache(store *cellcache.Store, scope scopeFn, sizes []int, seed func(point, seed int) uint64) (*sweepCellCache, error) {
 	scopes := make([][]byte, len(sizes))
 	for i, n := range sizes {
 		b, err := scope(n)
@@ -229,13 +280,13 @@ func newSweepCellCache(store *cellcache.Store, scope scopeFn, sizes []int, seeds
 		}
 		scopes[i] = b
 	}
-	return &sweepCellCache{store: store, scopes: scopes, sizes: sizes, cells: cells, seeds: seeds}, nil
+	return &sweepCellCache{store: store, scopes: scopes, sizes: sizes, seed: seed}, nil
 }
 
 // Get implements engine.CellCache. Every store failure — miss, I/O
 // error, corruption (evicted on the spot) — degrades to a recompute.
 func (c *sweepCellCache) Get(point, seed int) (any, bool) {
-	key := cellcache.Key(c.scopes[point], c.sizes[point], c.cells[point*c.seeds+seed].seed)
+	key := cellcache.Key(c.scopes[point], c.sizes[point], c.seed(point, seed))
 	e, _, err := c.store.Get(key)
 	if err != nil {
 		return nil, false
@@ -250,5 +301,5 @@ func (c *sweepCellCache) Put(point, seed int, v any) {
 	if !ok {
 		return
 	}
-	_ = c.store.Put(c.scopes[point], c.sizes[point], c.cells[point*c.seeds+seed].seed, val)
+	_ = c.store.Put(c.scopes[point], c.sizes[point], c.seed(point, seed), val)
 }

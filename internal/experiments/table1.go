@@ -109,7 +109,7 @@ func Table1(o Options) (*Result, error) {
 		if regime != row.regime {
 			return nil, fmt.Errorf("experiments: row %s classifies as %v, want %v", row.sc.Name, regime, row.regime)
 		}
-		series, err := sweepScenario(o, row.sc, sizes)
+		series, err := sweepScenario(o, row.sc, sizes, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -50,6 +50,21 @@ type CacheDelta struct {
 	Bypasses uint64 `json:"bypasses,omitempty"`
 }
 
+// CellRange is one half-open range [Start, End) of global grid cell
+// indices (grid order: point varying slowest).
+type CellRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// ShardInfo records which shard of a distributed sweep a run executed.
+type ShardInfo struct {
+	// Index is the shard's position, in [0, Count).
+	Index int `json:"index"`
+	// Count is the total number of shards the grid was split into.
+	Count int `json:"count"`
+}
+
 // Manifest is the run manifest written alongside a report: everything
 // needed to say what ran and what came out, without re-reading logs.
 // The encoding is a fixed tree of structs and slices (no maps), so
@@ -72,6 +87,17 @@ type Manifest struct {
 	Workers int `json:"workers"`
 	// Faults describes the injected fault plan, empty when none.
 	Faults string `json:"faults,omitempty"`
+	// GridCells is the total cell count of the full (sizes x seeds)
+	// grid, whether or not this run covered all of it.
+	GridCells int `json:"grid_cells,omitempty"`
+	// Coverage lists the global cell ranges this run evaluated, in grid
+	// order: the whole grid as one span for unsharded and merged runs,
+	// one block per shard otherwise. Merge tooling checks the union is
+	// an exact disjoint cover of [0, GridCells).
+	Coverage []CellRange `json:"coverage,omitempty"`
+	// Shard identifies the shard a partial run executed; nil for
+	// unsharded and merged runs.
+	Shard *ShardInfo `json:"shard,omitempty"`
 	// Cache is the kernel-cache activity over the run.
 	Cache CacheDelta `json:"cache"`
 	// Phases are the per-phase cell outcome tallies in execution order.

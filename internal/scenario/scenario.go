@@ -17,6 +17,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -71,6 +72,56 @@ func (f FaultSpec) Config() faults.Config {
 	}
 }
 
+// Shard-spec validation sentinels, surfaced by Validate and CheckGrid
+// so callers (CLI flag parsing, the server's submission handler, merge
+// tooling) can classify malformed specs without string matching.
+var (
+	// ErrShardCount marks a shard count below 1.
+	ErrShardCount = errors.New("shard count must be at least 1")
+	// ErrShardIndex marks a shard index outside [0, count).
+	ErrShardIndex = errors.New("shard index outside [0, count)")
+	// ErrShardCells marks a shard count exceeding the grid's total cell
+	// count (some shards would own no cells).
+	ErrShardCells = errors.New("shard count exceeds grid cells")
+)
+
+// ShardSpec selects one contiguous block of the sweep's (size, seed)
+// grid: shard Index of Count owns the global cells
+// [Index*n/Count, (Index+1)*n/Count) in grid order. Cells keep their
+// global coordinates and pre-derived seeds, so the Count shards are an
+// exact disjoint cover and their merged results are byte-identical to
+// an unsharded run. The spec is grid-only: it shapes which cells this
+// process evaluates, never what any cell computes, so cell cache keys
+// are shard-blind.
+type ShardSpec struct {
+	// Index is this shard's position, in [0, Count).
+	Index int `json:"index"`
+	// Count is the total number of shards the grid is split into.
+	Count int `json:"count"`
+}
+
+// Validate checks the spec's internal consistency (the grid-independent
+// half; CheckGrid covers the rest once the cell count is known).
+func (sp *ShardSpec) Validate(name string) error {
+	if sp.Count < 1 {
+		return fmt.Errorf("scenario %s: shard %d/%d: %w", name, sp.Index, sp.Count, ErrShardCount)
+	}
+	if sp.Index < 0 || sp.Index >= sp.Count {
+		return fmt.Errorf("scenario %s: shard %d/%d: %w", name, sp.Index, sp.Count, ErrShardIndex)
+	}
+	return nil
+}
+
+// CheckGrid checks the spec against the resolved grid's total cell
+// count: a count larger than the grid would leave some shards empty,
+// which is always an operator error.
+func (sp *ShardSpec) CheckGrid(name string, cells int) error {
+	if sp.Count > cells {
+		return fmt.Errorf("scenario %s: shard %d/%d: %d > %d grid cells: %w", name, sp.Index, sp.Count, sp.Count, cells, ErrShardCells)
+	}
+	return nil
+}
+
 // Scenario is one declarative experiment: a parameter regime plus the
 // grid, schemes and measurements that evaluate it.
 type Scenario struct {
@@ -102,6 +153,12 @@ type Scenario struct {
 	// Fit requests a power-law fit of the measured lambda series, for
 	// comparison against the regime's theoretical capacity order.
 	Fit bool `json:"fit,omitempty"`
+	// Shard, if set, restricts the run to one contiguous block of the
+	// (size, seed) grid for distributed sweeps; nil runs the whole grid.
+	// Shard identity is excluded from cell cache keys (a cell computes
+	// the same value whichever shard evaluates it) and from the base
+	// scenario hash that shard-merge tooling matches on.
+	Shard *ShardSpec `json:"shard,omitempty"`
 }
 
 // SizesFor selects the scenario's size grid: QuickSizes under quick
@@ -169,6 +226,19 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: at n=%d: %w", s.Name, n, err)
 		}
 	}
+	if s.Shard != nil {
+		if err := s.Shard.Validate(s.Name); err != nil {
+			return err
+		}
+		// The declared grid bounds the shard count statically when the
+		// seed count is declared too; the executing run re-checks against
+		// its resolved grid (quick sizes, defaulted seeds) via CheckGrid.
+		if s.Seeds > 0 {
+			if err := s.Shard.CheckGrid(s.Name, len(s.Sizes)*s.Seeds); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -208,6 +278,24 @@ func (s *Scenario) SHA256() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// WithoutShard returns a shallow copy of the scenario with the shard
+// spec cleared: the canonical description of the full sweep every shard
+// of it shares.
+func (s *Scenario) WithoutShard() *Scenario {
+	base := *s
+	base.Shard = nil
+	return &base
+}
+
+// BaseSHA256 returns the hex SHA-256 of the shard-stripped canonical
+// encoding: the content address of the underlying sweep, identical for
+// every shard of it (and equal to SHA256 when unsharded). Manifests
+// record it so shard-merge tooling can verify that the outputs it joins
+// describe the same sweep.
+func (s *Scenario) BaseSHA256() (string, error) {
+	return s.WithoutShard().SHA256()
+}
+
 // cellScope is the projection of a scenario onto the dimensions one
 // grid cell's value depends on: the name (which salts the sweep's seed
 // derivation), the scaling exponents instantiated at the cell's size,
@@ -235,6 +323,7 @@ var gridOnlyFields = []string{
 	"QuickSizes",  // grid shape under quick options
 	"Seeds",       // per-cell seed count: each seed keys separately
 	"Fit",         // post-sweep analysis over cached values
+	"Shard",       // grid partition: cells are shard-blind by design
 }
 
 // CellScope renders the canonical cache scope of one grid cell at

@@ -165,3 +165,94 @@ func TestAccessors(t *testing.T) {
 		t.Errorf("params %+v", p)
 	}
 }
+
+// Shard validation: malformed specs surface the sentinel errors, valid
+// ones pass, and the runtime CheckGrid catches counts larger than the
+// resolved grid.
+func TestShardValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		shard ShardSpec
+		want  error
+	}{
+		{"count zero", ShardSpec{Index: 0, Count: 0}, ErrShardCount},
+		{"count negative", ShardSpec{Index: 0, Count: -2}, ErrShardCount},
+		{"index at count", ShardSpec{Index: 3, Count: 3}, ErrShardIndex},
+		{"index past count", ShardSpec{Index: 7, Count: 3}, ErrShardIndex},
+		{"index negative", ShardSpec{Index: -1, Count: 3}, ErrShardIndex},
+		{"count past cells", ShardSpec{Index: 0, Count: 100}, ErrShardCells},
+		{"valid first", ShardSpec{Index: 0, Count: 3}, nil},
+		{"valid last", ShardSpec{Index: 2, Count: 3}, nil},
+		{"valid whole grid", ShardSpec{Index: 0, Count: 1}, nil},
+	}
+	for _, tc := range cases {
+		sc := valid() // 3 sizes x 3 seeds = 9 cells
+		sc.Shard = &tc.shard
+		err := sc.Validate()
+		if tc.want == nil {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate() = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// A shard count static validation cannot bound (seeds deferred to the
+// executing options) must still be caught by CheckGrid at runtime.
+func TestShardCheckGridDeferredSeeds(t *testing.T) {
+	sc := valid()
+	sc.Seeds = 0 // resolved by the executing options
+	sc.Shard = &ShardSpec{Index: 0, Count: 100}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil (cells unknown statically)", err)
+	}
+	if err := sc.Shard.CheckGrid(sc.Name, 9); err == nil || !errors.Is(err, ErrShardCells) {
+		t.Fatalf("CheckGrid = %v, want ErrShardCells", err)
+	}
+}
+
+// The shard spec must round-trip through the canonical encoding, and
+// the base hash must be shard-blind: every shard of a sweep shares the
+// unsharded scenario's content address, while the full hash still
+// distinguishes them (the server content-addresses runs by it).
+func TestShardHashing(t *testing.T) {
+	unsharded := valid()
+	full, err := unsharded.SHA256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := valid()
+	sharded.Shard = &ShardSpec{Index: 1, Count: 3}
+	data, err := sharded.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse sharded: %v", err)
+	}
+	if parsed.Shard == nil || *parsed.Shard != *sharded.Shard {
+		t.Fatalf("shard spec did not round-trip: %+v", parsed.Shard)
+	}
+	base, err := sharded.BaseSHA256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != full {
+		t.Errorf("BaseSHA256 %s != unsharded SHA256 %s", base, full)
+	}
+	shardedFull, err := sharded.SHA256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardedFull == full {
+		t.Error("sharded and unsharded scenarios share a full hash")
+	}
+	if sharded.Shard == nil {
+		t.Fatal("WithoutShard mutated the receiver")
+	}
+}

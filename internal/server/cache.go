@@ -13,8 +13,10 @@ import (
 	"strings"
 )
 
-// EntrySchema is the current cache-entry file schema version.
-const EntrySchema = 1
+// EntrySchema is the current cache-entry file schema version. Schema 2
+// added the optional cells artifact of sharded runs; schema-1 entries
+// on disk fail validation and are recomputed.
+const EntrySchema = 2
 
 // entrySuffix is the filename suffix of one cache entry; the prefix is
 // the scenario's canonical sha256, so the directory listing IS the
@@ -44,8 +46,11 @@ type Entry struct {
 	Report string `json:"report"`
 	// Manifest is the run manifest JSON.
 	Manifest string `json:"manifest"`
-	// PayloadSHA256 is the hex SHA-256 over Scenario, Report and
-	// Manifest (NUL-separated), detecting truncated or bit-rotted
+	// Cells is the per-cell outcomes JSON of a sharded run (empty for
+	// unsharded runs, which write no cells artifact).
+	Cells string `json:"cells,omitempty"`
+	// PayloadSHA256 is the hex SHA-256 over Scenario, Report, Manifest
+	// and Cells (NUL-separated), detecting truncated or bit-rotted
 	// entries independently of the JSON framing.
 	PayloadSHA256 string `json:"payload_sha256"`
 }
@@ -53,7 +58,7 @@ type Entry struct {
 // payloadSum checksums the entry's payload fields.
 func (e *Entry) payloadSum() string {
 	h := sha256.New()
-	for _, s := range []string{e.Scenario, e.Report, e.Manifest} {
+	for _, s := range []string{e.Scenario, e.Report, e.Manifest, e.Cells} {
 		// hash.Hash writers are documented never to fail.
 		_, _ = h.Write([]byte(s))
 		_, _ = h.Write([]byte{0})

@@ -1,0 +1,313 @@
+// Package shardmerge reassembles a sharded sweep: it loads the
+// per-shard outputs (run manifest + cells artifact), verifies they
+// describe the same canonical scenario and form an exact disjoint cover
+// of the grid, and folds the cells — in global grid order, through the
+// same aggregation arithmetic the engine uses — into one report and
+// combined manifest byte-identical to an unsharded run. cmd/capmerge is
+// the CLI over it.
+package shardmerge
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hybridcap/internal/cells"
+	"hybridcap/internal/engine"
+	"hybridcap/internal/experiments"
+	"hybridcap/internal/measure"
+	"hybridcap/internal/obs"
+	"hybridcap/internal/scenario"
+)
+
+// Merge-rejection sentinels: every way a set of shard outputs can fail
+// to reassemble is classified, so the CLI can exit nonzero with a
+// precise reason and tests can assert the class.
+var (
+	// ErrHashMismatch marks shards whose manifests or cells artifacts
+	// carry different canonical scenario hashes: they are not shards of
+	// the same sweep.
+	ErrHashMismatch = errors.New("shardmerge: scenario hash mismatch")
+	// ErrOverlap marks two shards both claiming the same grid cell.
+	ErrOverlap = errors.New("shardmerge: overlapping shards")
+	// ErrGap marks grid cells no loaded shard provides.
+	ErrGap = errors.New("shardmerge: grid cells missing")
+	// ErrGridMismatch marks shards that disagree about the grid shape
+	// (sizes, seeds, total cells) or scenario name.
+	ErrGridMismatch = errors.New("shardmerge: grid mismatch")
+)
+
+// Shard is one loaded shard output: the run manifest plus the cells
+// artifact written next to it.
+type Shard struct {
+	// Dir is the directory the shard was loaded from (diagnostics).
+	Dir string
+	// Manifest is the shard run's manifest.
+	Manifest *obs.Manifest
+	// Cells is the shard's raw per-cell outcomes.
+	Cells *cells.File
+}
+
+// LoadDir loads one shard output directory: it must contain exactly one
+// *.manifest.json with a sibling <name>.cells.json (an unsharded run
+// writes no cells artifact and is rejected — there is nothing to
+// merge).
+func LoadDir(dir string) (*Shard, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("shardmerge: %w", err)
+	}
+	if len(matches) != 1 {
+		return nil, fmt.Errorf("shardmerge: %s: found %d manifests, want exactly 1", dir, len(matches))
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		return nil, fmt.Errorf("shardmerge: %w", err)
+	}
+	man, err := obs.ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("shardmerge: %s: %w", matches[0], err)
+	}
+	cellsPath := strings.TrimSuffix(matches[0], ".manifest.json") + ".cells.json"
+	cf, err := cells.Load(cellsPath)
+	if err != nil {
+		return nil, fmt.Errorf("shardmerge: %s: no shard cells artifact: %w", dir, err)
+	}
+	if man.Name != cf.Name {
+		return nil, fmt.Errorf("shardmerge: %s: manifest name %q != cells name %q: %w", dir, man.Name, cf.Name, ErrGridMismatch)
+	}
+	if man.ScenarioSHA256 != cf.ScenarioSHA256 {
+		return nil, fmt.Errorf("shardmerge: %s: manifest hash %s != cells hash %s: %w", dir, man.ScenarioSHA256, cf.ScenarioSHA256, ErrHashMismatch)
+	}
+	return &Shard{Dir: dir, Manifest: man, Cells: cf}, nil
+}
+
+// verify cross-checks the loaded shards against the first one: same
+// canonical scenario, same grid shape. Returns the shards sorted by
+// their first covered cell, so downstream folds are deterministic
+// whatever order the operator listed the directories in.
+func verify(shards []*Shard) ([]*Shard, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shardmerge: no shards")
+	}
+	ref := shards[0]
+	for _, s := range shards[1:] {
+		if s.Cells.ScenarioSHA256 != ref.Cells.ScenarioSHA256 {
+			return nil, fmt.Errorf("shardmerge: %s has scenario %s, %s has %s: %w",
+				ref.Dir, ref.Cells.ScenarioSHA256, s.Dir, s.Cells.ScenarioSHA256, ErrHashMismatch)
+		}
+		if s.Cells.Name != ref.Cells.Name || s.Cells.Seeds != ref.Cells.Seeds ||
+			s.Cells.GridCells != ref.Cells.GridCells || !equalInts(s.Cells.Sizes, ref.Cells.Sizes) {
+			return nil, fmt.Errorf("shardmerge: %s and %s disagree about the grid: %w", ref.Dir, s.Dir, ErrGridMismatch)
+		}
+	}
+	sorted := append([]*Shard(nil), shards...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return firstIndex(sorted[i]) < firstIndex(sorted[j])
+	})
+	return sorted, nil
+}
+
+func firstIndex(s *Shard) int {
+	if len(s.Cells.Cells) > 0 {
+		return s.Cells.Cells[0].Index
+	}
+	if len(s.Manifest.Coverage) > 0 {
+		return s.Manifest.Coverage[0].Start
+	}
+	return 0
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collect verifies the shards and files every provided cell into one
+// grid-indexed slice, rejecting duplicates (ErrOverlap) and cells
+// outside a shard's declared coverage.
+func collect(shards []*Shard) ([]*cells.Cell, []*Shard, error) {
+	sorted, err := verify(shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := sorted[0].Cells.GridCells
+	got := make([]*cells.Cell, n)
+	owner := make([]*Shard, n)
+	for _, s := range sorted {
+		for i := range s.Cells.Cells {
+			c := &s.Cells.Cells[i]
+			if !covered(s.Manifest, c.Index) {
+				return nil, nil, fmt.Errorf("shardmerge: %s: cell %d outside the shard's declared coverage: %w", s.Dir, c.Index, ErrGridMismatch)
+			}
+			if got[c.Index] != nil {
+				return nil, nil, fmt.Errorf("shardmerge: cell %d provided by both %s and %s: %w", c.Index, owner[c.Index].Dir, s.Dir, ErrOverlap)
+			}
+			got[c.Index] = c
+			owner[c.Index] = s
+		}
+	}
+	return got, sorted, nil
+}
+
+func covered(m *obs.Manifest, idx int) bool {
+	if len(m.Coverage) == 0 {
+		return true
+	}
+	for _, r := range m.Coverage {
+		if idx >= r.Start && idx < r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Gaps verifies the shards and reports the grid cells no shard
+// provides, as half-open ranges in grid order. An empty slice means the
+// cover is complete and Merge will succeed (absent overlaps, which
+// Gaps also rejects).
+func Gaps(shards []*Shard) ([]obs.CellRange, error) {
+	got, _, err := collect(shards)
+	if err != nil {
+		return nil, err
+	}
+	return gapsOf(got), nil
+}
+
+// Merge reassembles the full sweep from a complete set of shards: cells
+// fold through the engine's mean aggregation in global grid order (the
+// exact float operations an unsharded sweep performs), the report is
+// assembled by the same code path RunScenario uses, and the combined
+// manifest sums the shard tallies under the full-grid coverage. The
+// output is byte-identical to an unsharded run of the same scenario
+// (manifest modulo Workers when the shards disagree, and modulo the
+// kernel Cache delta, which is process-history dependent by nature).
+func Merge(shards []*Shard) (*experiments.Result, error) {
+	got, sorted, err := collect(shards)
+	if err != nil {
+		return nil, err
+	}
+	if gaps := gapsOf(got); len(gaps) > 0 {
+		return nil, fmt.Errorf("shardmerge: %d cells missing (first gap [%d,%d)): %w",
+			countGaps(gaps), gaps[0].Start, gaps[0].End, ErrGap)
+	}
+	ref := sorted[0].Cells
+	sc, err := scenario.Parse([]byte(ref.Scenario))
+	if err != nil {
+		return nil, fmt.Errorf("shardmerge: embedded scenario: %w", err)
+	}
+	sizes, seeds := ref.Sizes, ref.Seeds
+
+	agg := engine.NewMeanAgg(len(sizes))
+	for idx, c := range got {
+		out := engine.Outcome[float64]{Value: c.Value}
+		if c.Err != "" {
+			out = engine.Outcome[float64]{Err: errors.New(c.Err)}
+		}
+		agg.Cell(idx/seeds, idx%seeds, out)
+	}
+	series := &measure.Series{Name: sc.Name}
+	for i, n := range sizes {
+		mean, ok, firstErr, firstSeed := agg.Point(i)
+		if ok == 0 {
+			return nil, fmt.Errorf("shardmerge: %s at n=%d: all %d seeds failed (first: seed %d: %v)",
+				sc.Name, n, seeds, firstSeed, firstErr)
+		}
+		series.AddCounted(float64(n), mean, ok, seeds)
+	}
+	res, err := experiments.AssembleScenario(sc, sizes, seeds, series)
+	if err != nil {
+		return nil, err
+	}
+	man, err := mergeManifests(sorted, sc, sizes, seeds)
+	if err != nil {
+		return nil, err
+	}
+	res.Manifest = man
+	return res, nil
+}
+
+func gapsOf(got []*cells.Cell) []obs.CellRange {
+	var gaps []obs.CellRange
+	for i := 0; i < len(got); i++ {
+		if got[i] != nil {
+			continue
+		}
+		j := i
+		for j < len(got) && got[j] == nil {
+			j++
+		}
+		gaps = append(gaps, obs.CellRange{Start: i, End: j})
+		i = j
+	}
+	return gaps
+}
+
+func countGaps(gaps []obs.CellRange) int {
+	total := 0
+	for _, g := range gaps {
+		total += g.End - g.Start
+	}
+	return total
+}
+
+// mergeManifests combines the shard manifests into the manifest an
+// unsharded run would have written: one summed phase tally under the
+// full-grid coverage, the kernel-cache deltas summed, Workers kept only
+// when every shard agrees (it does not affect results either way).
+func mergeManifests(shards []*Shard, sc *scenario.Scenario, sizes []int, seeds int) (*obs.Manifest, error) {
+	hash := shards[0].Cells.ScenarioSHA256
+	tally := obs.PhaseTally{}
+	var cache obs.CacheDelta
+	workers := -1
+	faults := ""
+	for i, s := range shards {
+		m := s.Manifest
+		if len(m.Phases) != 1 {
+			return nil, fmt.Errorf("shardmerge: %s: manifest has %d phases, want 1", s.Dir, len(m.Phases))
+		}
+		ph := m.Phases[0]
+		if i == 0 {
+			tally.Phase = ph.Phase
+			workers = m.Workers
+			faults = m.Faults
+		} else if ph.Phase != tally.Phase {
+			return nil, fmt.Errorf("shardmerge: %s: phase %q, want %q: %w", s.Dir, ph.Phase, tally.Phase, ErrGridMismatch)
+		}
+		if m.Workers != workers {
+			workers = 0
+		}
+		tally.Cells += ph.Cells
+		tally.OK += ph.OK
+		tally.ConstructFailed += ph.ConstructFailed
+		tally.EvaluateFailed += ph.EvaluateFailed
+		tally.Canceled += ph.Canceled
+		tally.Cached += ph.Cached
+		cache.Hits += m.Cache.Hits
+		cache.Misses += m.Cache.Misses
+		cache.Bypasses += m.Cache.Bypasses
+	}
+	return &obs.Manifest{
+		Schema:         obs.ManifestSchema,
+		Name:           sc.Name,
+		ScenarioSHA256: hash,
+		Sizes:          append([]int(nil), sizes...),
+		Seeds:          seeds,
+		Workers:        workers,
+		Faults:         faults,
+		GridCells:      len(sizes) * seeds,
+		Coverage:       []obs.CellRange{{Start: 0, End: len(sizes) * seeds}},
+		Cache:          cache,
+		Phases:         []obs.PhaseTally{tally},
+	}, nil
+}

@@ -1,0 +1,241 @@
+package shardmerge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridcap/internal/experiments"
+	"hybridcap/internal/obs"
+	"hybridcap/internal/scenario"
+)
+
+// loadStrongMobility loads the shipped strong-mobility scenario, the
+// same sweep the golden Table-I reports use.
+func loadStrongMobility(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Load(filepath.Join("..", "..", "examples", "scenarios", "strong-mobility.json"))
+	if err != nil {
+		t.Fatalf("load scenario: %v", err)
+	}
+	return sc
+}
+
+// shardOpts are the experiment options every run in these tests
+// executes under: the quick sizes with 4 seeds/point give a 12-cell
+// grid, enough for a 7-way split to stay valid.
+func shardOpts(workers int) experiments.Options {
+	return experiments.Options{Quick: true, Seeds: 4, Workers: workers}
+}
+
+// runShard executes one shard of the scenario and writes its output
+// (report, manifest, cells artifact) into a fresh directory.
+func runShard(t *testing.T, sc *scenario.Scenario, index, count, workers int) string {
+	t.Helper()
+	ssc := *sc
+	ssc.Shard = &scenario.ShardSpec{Index: index, Count: count}
+	res, err := experiments.RunScenario(context.Background(), &ssc, shardOpts(workers))
+	if err != nil {
+		t.Fatalf("shard %d/%d: %v", index, count, err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteFiles(dir); err != nil {
+		t.Fatalf("shard %d/%d write: %v", index, count, err)
+	}
+	return dir
+}
+
+// runShards executes and loads every shard of a k-way split.
+func runShards(t *testing.T, sc *scenario.Scenario, count, workers int) []*Shard {
+	t.Helper()
+	shards := make([]*Shard, 0, count)
+	for i := 0; i < count; i++ {
+		s, err := LoadDir(runShard(t, sc, i, count, workers))
+		if err != nil {
+			t.Fatalf("load shard %d/%d: %v", i, count, err)
+		}
+		shards = append(shards, s)
+	}
+	return shards
+}
+
+// readFile reads one artifact, failing the test on error.
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}
+
+// normManifest marshals a manifest with the two fields a merge cannot
+// (and need not) reproduce normalized: the mobility kernel-cache delta
+// is process-history dependent, and Workers is perf bookkeeping the
+// merge keeps only when every shard agrees.
+func normManifest(t *testing.T, m *obs.Manifest) string {
+	t.Helper()
+	c := *m
+	c.Cache = obs.CacheDelta{}
+	c.Workers = 0
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("marshal manifest: %v", err)
+	}
+	return string(data)
+}
+
+// TestShardMergeByteIdentity is the tentpole guarantee: for every split
+// count and worker count, running the shards independently and merging
+// their outputs reproduces the unsharded run's report and CSV byte for
+// byte, and its manifest modulo kernel-cache and worker bookkeeping.
+func TestShardMergeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := loadStrongMobility(t)
+	ref, err := experiments.RunScenario(context.Background(), sc, shardOpts(1))
+	if err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+	refDir := t.TempDir()
+	if err := ref.WriteFiles(refDir); err != nil {
+		t.Fatalf("unsharded write: %v", err)
+	}
+	wantTxt := readFile(t, filepath.Join(refDir, ref.ID+".txt"))
+	wantCSV := readFile(t, filepath.Join(refDir, ref.ID+".csv"))
+	wantManifest := normManifest(t, ref.Manifest)
+
+	for _, k := range []int{1, 2, 3, 7} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("k=%d/workers=%d", k, workers), func(t *testing.T) {
+				shards := runShards(t, sc, k, workers)
+				res, err := Merge(shards)
+				if err != nil {
+					t.Fatalf("Merge: %v", err)
+				}
+				outDir := t.TempDir()
+				if err := res.WriteFiles(outDir); err != nil {
+					t.Fatalf("merged write: %v", err)
+				}
+				if got := readFile(t, filepath.Join(outDir, res.ID+".txt")); got != wantTxt {
+					t.Errorf("merged report differs from unsharded:\n--- want\n%s\n--- got\n%s", wantTxt, got)
+				}
+				if got := readFile(t, filepath.Join(outDir, res.ID+".csv")); got != wantCSV {
+					t.Errorf("merged CSV differs from unsharded:\n--- want\n%s\n--- got\n%s", wantCSV, got)
+				}
+				if got := normManifest(t, res.Manifest); got != wantManifest {
+					t.Errorf("merged manifest differs from unsharded:\n--- want\n%s\n--- got\n%s", wantManifest, got)
+				}
+			})
+		}
+	}
+}
+
+// Overlapping shards — two splits of the same sweep whose blocks
+// intersect — must be rejected, naming the cell and both providers.
+func TestMergeRejectsOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := loadStrongMobility(t)
+	a, err := LoadDir(runShard(t, sc, 0, 2, 1)) // cells [0,6)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	b, err := LoadDir(runShard(t, sc, 0, 3, 1)) // cells [0,4)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := Merge([]*Shard{a, b}); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("Merge of overlapping shards: got %v, want ErrOverlap", err)
+	}
+}
+
+// An incomplete cover must be rejected by Merge and reported by Gaps as
+// the exact missing range.
+func TestMergeRejectsGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := loadStrongMobility(t)
+	shards := []*Shard{}
+	for _, i := range []int{0, 2} { // shard 1/3 (cells [4,8)) missing
+		s, err := LoadDir(runShard(t, sc, i, 3, 1))
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		shards = append(shards, s)
+	}
+	if _, err := Merge(shards); !errors.Is(err, ErrGap) {
+		t.Fatalf("Merge with missing shard: got %v, want ErrGap", err)
+	}
+	gaps, err := Gaps(shards)
+	if err != nil {
+		t.Fatalf("Gaps: %v", err)
+	}
+	if len(gaps) != 1 || gaps[0].Start != 4 || gaps[0].End != 8 {
+		t.Fatalf("Gaps = %+v, want [{4 8}]", gaps)
+	}
+	// Adding the missing shard completes the cover.
+	s, err := LoadDir(runShard(t, sc, 1, 3, 1))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	shards = append(shards, s)
+	if gaps, err := Gaps(shards); err != nil || len(gaps) != 0 {
+		t.Fatalf("Gaps after completing cover = %+v, %v, want none", gaps, err)
+	}
+	if _, err := Merge(shards); err != nil {
+		t.Fatalf("Merge of completed cover: %v", err)
+	}
+}
+
+// Shards of different scenarios — detected via the canonical
+// shard-blind scenario hash — must never merge.
+func TestMergeRejectsHashMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := loadStrongMobility(t)
+	a, err := LoadDir(runShard(t, sc, 0, 2, 1))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	other := *sc
+	other.Base.Alpha = 0.25 // different sweep, same name and grid shape
+	b, err := LoadDir(runShard(t, &other, 1, 2, 1))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := Merge([]*Shard{a, b}); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("Merge across scenarios: got %v, want ErrHashMismatch", err)
+	}
+}
+
+// LoadDir must reject directories that are not shard outputs: no
+// manifest at all, and a manifest without the sibling cells artifact
+// (an unsharded run — nothing to merge).
+func TestLoadDirRejections(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("LoadDir of empty dir: want error")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := loadStrongMobility(t)
+	res, err := experiments.RunScenario(context.Background(), sc, shardOpts(1))
+	if err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteFiles(dir); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("LoadDir of unsharded output: want error (no cells artifact)")
+	}
+}

@@ -53,7 +53,7 @@ func runExperiment(b *testing.B, id string) *experiments.Result {
 
 // BenchmarkTable1 regenerates Table I (all five regime rows) and
 // reports the fitted capacity exponent of each row. It then times the
-// same sweep at Workers=1, 2 and NumCPU, fails if any run drifts from
+// same sweep at Workers=1, 2, 4 and NumCPU, fails if any run drifts from
 // the serial baseline by a single bit, measures a cold-vs-warm
 // cell-cache replay, and upserts the headline numbers (wall time,
 // cells/sec, speedup, allocation churn, exponents) into
@@ -90,7 +90,7 @@ func recordSweepTrajectory(b *testing.B) {
 		Name:       "BenchmarkTable1",
 		Experiment: "T1",
 		Clock:      obs.ClockFunc(time.Now),
-	}, []int{1, 2, ncpu}, func(workers int) (*experiments.Result, error) {
+	}, []int{1, 2, 4, ncpu}, func(workers int) (*experiments.Result, error) {
 		return benchT1(workers, nil)
 	})
 	if err != nil {

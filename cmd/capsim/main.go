@@ -104,7 +104,8 @@ func run(ctx context.Context) error {
 		phi         = flag.Float64("phi", 1, "backbone exponent: k*c(n) = n^phi")
 		mExp        = flag.Float64("M", 1, "cluster count exponent: m = n^M (1 = uniform)")
 		rExp        = flag.Float64("R", 0, "cluster radius exponent: r = n^-R")
-		scheme      = flag.String("scheme", "best", "schemeA | schemeB | schemeBcluster | schemeC | gridMultihop | twoHop | best")
+		scheme      = flag.String("scheme", "best", "a routing scheme name (see -list-schemes) or best")
+		listSchemes = flag.Bool("list-schemes", false, "print the routing scheme registry with descriptions and exit")
 		placement   = flag.String("placement", "matched", "matched | uniform | grid")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		bsOutage    = flag.Float64("bs-outage", 0, "fraction of base stations failed (nested outage sets)")
@@ -130,6 +131,10 @@ func run(ctx context.Context) error {
 	common := cli.Bind(flag.CommandLine)
 	flag.Parse()
 
+	if *listSchemes {
+		printSchemes()
+		return nil
+	}
 	serveDebug(*serveAddr, *pprofAddr)
 	if *daemonAddr != "" {
 		return runServe(ctx, *daemonAddr, common, server.Config{
@@ -296,6 +301,14 @@ func printOutageCurve(build func(faults.Config) (*network.Network, error), fault
 		fmt.Println(strings.Join(row, "\t"))
 	}
 	return nil
+}
+
+// printSchemes lists the routing registry, one scheme per line, the
+// source of truth behind the -scheme flag and scenario scheme sets.
+func printSchemes() {
+	for _, name := range routing.Names() {
+		fmt.Printf("%-15s %s\n", name, routing.Description(name))
+	}
 }
 
 // selectSchemes resolves -scheme against the routing registry; "best"

@@ -1,5 +1,5 @@
 // Command figures regenerates the paper's figures (and the supporting
-// experiments E1-E13) as CSV data plus ASCII renderings.
+// experiments E1-E15) as CSV data plus ASCII renderings.
 //
 // Example:
 //

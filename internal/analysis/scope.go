@@ -40,6 +40,11 @@ var deterministicPkgs = map[string]bool{
 	// to an unsharded run — any ambient nondeterminism would break that
 	// equivalence outright.
 	"shardmerge": true,
+	// delay aggregates per-packet delay statistics whose quantiles and
+	// cross-seed means must reproduce byte-identically across worker
+	// counts and shard merges; its folds depend only on observation
+	// order, never on ambient state.
+	"delay": true,
 }
 
 // hotAllocPkgs are the slot-loop hot paths where the scratch-arena
@@ -52,6 +57,9 @@ var hotAllocPkgs = map[string]bool{
 	"routing":   true,
 	"scheduler": true,
 	"spatial":   true,
+	// delay collectors run inside per-pair/per-packet observation loops;
+	// all state is allocated at collector construction.
+	"delay": true,
 }
 
 // floatEqPkgs are the packages computing order-notation quantities

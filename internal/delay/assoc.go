@@ -1,0 +1,52 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+)
+
+// AssocConfig parameterizes BS association dynamics: instead of packets
+// instantly re-homing to the nearest live BS, each MS tracks a serving
+// BS and hands over only when a candidate has looked better than the
+// serving one — by at least the handover margin plus hysteresis — for
+// TimeToTrigger consecutive slots. The three knobs trade churn (spurious
+// ping-pong handovers at cell edges) against re-association delay after
+// an outage, which is exactly the delay spike the fault experiments
+// measure.
+type AssocConfig struct {
+	// HandoverMargin is the distance advantage (in torus units) a
+	// candidate BS must hold over the serving BS before the
+	// time-to-trigger clock starts.
+	HandoverMargin float64
+	// Hysteresis widens the margin once a handover completed, damping
+	// ping-pong between two near-equidistant BSs.
+	Hysteresis float64
+	// TimeToTrigger is how many consecutive slots the margin condition
+	// must hold before the handover executes. A dead serving BS skips
+	// the margin test but still waits out the trigger (outage detection
+	// is not instant).
+	TimeToTrigger int
+}
+
+// Validate checks the knobs.
+func (c AssocConfig) Validate() error {
+	if c.HandoverMargin < 0 || math.IsNaN(c.HandoverMargin) {
+		return fmt.Errorf("delay: handover margin %g must be non-negative", c.HandoverMargin)
+	}
+	if c.Hysteresis < 0 || math.IsNaN(c.Hysteresis) {
+		return fmt.Errorf("delay: hysteresis %g must be non-negative", c.Hysteresis)
+	}
+	if c.TimeToTrigger < 0 {
+		return fmt.Errorf("delay: time-to-trigger %d must be non-negative", c.TimeToTrigger)
+	}
+	return nil
+}
+
+// ReassocPenalty is the analytic stand-in for the re-association stall
+// the simulator produces under an outage: detection plus trigger takes
+// TimeToTrigger slots, stretched by the margin and hysteresis (a wider
+// margin holds the trigger back proportionally longer while the MS
+// drifts toward the surviving BS).
+func (c AssocConfig) ReassocPenalty() float64 {
+	return float64(c.TimeToTrigger) * (1 + c.HandoverMargin + c.Hysteresis)
+}

@@ -58,6 +58,14 @@ func (q *Quantiles) Observe(v float64) {
 // Count reports how many values were observed.
 func (q *Quantiles) Count() int { return q.count }
 
+// Probabilities returns the probabilities the estimator was built with,
+// in construction order. Callers that fold estimates into fixed-shape
+// records (e.g. per-scheme delay stats) iterate this instead of keeping
+// their own copy of the request.
+func (q *Quantiles) Probabilities() []float64 {
+	return append([]float64(nil), q.probs...)
+}
+
 // Quantile returns the current estimate for probability p. The bool is
 // false when p was not requested at construction or nothing was
 // observed yet.

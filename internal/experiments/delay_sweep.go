@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridcap/internal/delay"
+	"hybridcap/internal/engine"
+	"hybridcap/internal/faults"
+	"hybridcap/internal/network"
+	"hybridcap/internal/rng"
+	"hybridcap/internal/routing"
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/scenario"
+	"hybridcap/internal/traffic"
+)
+
+// evalDelayCell accounts delay on one grid cell: it rebuilds exactly the
+// instance the lambda sweep evaluated (same derived seed, same placement
+// and fault plan), then runs every requested scheme's analytic delay
+// model over the instance's traffic pattern, folding per-pair breakdowns
+// through a bounded-memory collector. The cell value is the per-scheme
+// Stats slice in the scenario's scheme order.
+func evalDelayCell(c sweepCell, placement network.BSPlacement, fc *faults.Config, schemes []string, probs []float64, assoc *delay.AssocConfig) ([]delay.Stats, error) {
+	nw, tr, err := instanceWith(c.params, c.seed, placement, fc)
+	if err != nil {
+		return nil, engine.ConstructErr(err)
+	}
+	out := make([]delay.Stats, len(schemes))
+	for i, name := range schemes {
+		m, err := routing.DelayModelByName(name, nw.Cfg.Params, assoc)
+		if err != nil {
+			return nil, engine.EvaluateErr(err)
+		}
+		col, err := delay.NewCollector(probs...)
+		if err != nil {
+			return nil, engine.EvaluateErr(err)
+		}
+		unrte, err := safeEvalDelay(m, nw, tr, col)
+		if err != nil {
+			return nil, engine.EvaluateErr(fmt.Errorf("%s: %w", name, err))
+		}
+		for u := 0; u < unrte; u++ {
+			col.ObserveUnroutable()
+		}
+		out[i] = col.Stats()
+	}
+	return out, nil
+}
+
+// safeEvalDelay runs a delay model with panics converted to errors, the
+// delay-side twin of safeEval.
+func safeEvalDelay(m routing.DelayModel, nw *network.Network, tr *traffic.Pattern, col *delay.Collector) (unrte int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("delay evaluation panicked: %v", r)
+		}
+	}()
+	return m.EvaluateDelay(nw, tr, col.Observe)
+}
+
+// delayAgg folds delay-cell outcomes into per-point per-scheme sums in
+// grid order, the delay-valued analogue of engine.MeanAgg. Sums (not
+// means) are kept so shard results merge by plain addition in shard
+// order — the same arithmetic order an unsharded sweep uses, which is
+// what makes shard merges byte-identical.
+type delayAgg struct {
+	sum       [][]delay.Stats // per point, per scheme, summed over OK seeds
+	ok        []int
+	covered   []int
+	firstErr  []error
+	firstSeed []int
+}
+
+// newDelayAgg sizes the aggregator for a points x schemes sweep.
+func newDelayAgg(points, schemes int) *delayAgg {
+	a := &delayAgg{
+		sum:       make([][]delay.Stats, points),
+		ok:        make([]int, points),
+		covered:   make([]int, points),
+		firstErr:  make([]error, points),
+		firstSeed: make([]int, points),
+	}
+	for i := range a.sum {
+		a.sum[i] = make([]delay.Stats, schemes)
+	}
+	return a
+}
+
+// Cell implements the engine reduce callback. The engine delivers cells
+// in grid order, so per-point seed folds are deterministic.
+func (a *delayAgg) Cell(point, seed int, out engine.Outcome[[]delay.Stats]) {
+	a.covered[point]++
+	if out.Err != nil {
+		if a.firstErr[point] == nil {
+			a.firstErr[point] = out.Err
+			a.firstSeed[point] = seed
+		}
+		return
+	}
+	for i := range out.Value {
+		if err := a.sum[point][i].Add(out.Value[i]); err != nil {
+			if a.firstErr[point] == nil {
+				a.firstErr[point] = err
+				a.firstSeed[point] = seed
+			}
+			return
+		}
+	}
+	a.ok[point]++
+}
+
+// Point returns point i's per-scheme stat sums with its coverage and
+// first failure (by seed order).
+func (a *delayAgg) Point(i int) (sum []delay.Stats, ok, covered int, firstErr error, firstSeed int) {
+	return a.sum[i], a.ok[i], a.covered[i], a.firstErr[i], a.firstSeed[i]
+}
+
+// delayPoint is one grid point's aggregated delay outcome: the
+// per-scheme stat sums over its OK seeds (call Mean for the cross-seed
+// average) plus coverage counters.
+type delayPoint struct {
+	N       int
+	Sum     []delay.Stats
+	OK      int
+	Covered int
+}
+
+// Mean returns the cross-seed mean stats, leaving Sum untouched.
+func (p delayPoint) Mean() []delay.Stats {
+	out := make([]delay.Stats, len(p.Sum))
+	for i := range p.Sum {
+		s := p.Sum[i]
+		s.Quantile = append([]float64(nil), p.Sum[i].Quantile...)
+		if p.OK > 0 {
+			s.Scale(1 / float64(p.OK))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// sweepDelay is the delay-accounting counterpart of sweepLambdaShard: it
+// runs the requested schemes' delay models over the identical
+// sizes x seeds grid — the seed derivation is the lambda sweep's, so
+// every cell re-evaluates the exact instance the throughput pass
+// measured — and folds per-cell stats into per-point sums in grid order.
+// Byte-identity across worker counts is the engine's ordering guarantee;
+// byte-identity across shard merges is the sum representation (see
+// delayAgg). An optional shard spec restricts the run to one contiguous
+// block of the global grid; sharded points report partial sums and
+// coverage, and a point losing every seed only aborts unsharded sweeps.
+func sweepDelay(o Options, name string, sizes []int, base scaling.Params, placement network.BSPlacement, fc *faults.Config, shard *scenario.ShardSpec, schemes []string, probs []float64, assoc *delay.AssocConfig) ([]delayPoint, error) {
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("experiments: %s delay: no schemes requested", name)
+	}
+	seeds := o.seeds()
+	src := rng.New(0xE).Derive("sweep").Derive(name)
+	params := make([]scaling.Params, len(sizes))
+	srcs := make([]rng.Source, len(sizes))
+	for i, n := range sizes {
+		p := base.WithN(n)
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %s delay at n=%d: %w", name, n, err)
+		}
+		params[i] = p
+		srcs[i] = src.DeriveN("n", n)
+	}
+	cellSeed := func(point, seed int) uint64 {
+		return srcs[point].DeriveN("seed", seed).Uint64()
+	}
+
+	ctx := o.ctx()
+	g := engine.Grid{Points: len(sizes), Seeds: seeds, Workers: o.workers()}
+	if shard != nil {
+		g.ShardIndex, g.ShardCount = shard.Index, shard.Count
+	}
+	agg := newDelayAgg(len(sizes), len(schemes))
+	finish := observeGrid(o, "delay "+name, &g, sizes)
+	serr := engine.Stream(ctx, g,
+		func(point, seed int) ([]delay.Stats, error) {
+			return evalDelayCell(sweepCell{params: params[point], seed: cellSeed(point, seed)}, placement, fc, schemes, probs, assoc)
+		},
+		agg.Cell)
+	finish()
+	if serr != nil {
+		return nil, fmt.Errorf("experiments: %s delay: %w", name, serr)
+	}
+
+	pts := make([]delayPoint, 0, len(sizes))
+	for i, n := range sizes {
+		sum, ok, covered, firstErr, firstSeed := agg.Point(i)
+		if shard != nil {
+			if covered > 0 {
+				pts = append(pts, delayPoint{N: n, Sum: sum, OK: ok, Covered: covered})
+			}
+			continue
+		}
+		if ok == 0 {
+			wrapped := fmt.Errorf("experiments: %s delay at n=%d seed %d: %w", name, n, firstSeed, firstErr)
+			return nil, fmt.Errorf("experiments: %s delay at n=%d: all %d seeds failed: %w", name, n, seeds, wrapped)
+		}
+		pts = append(pts, delayPoint{N: n, Sum: sum, OK: ok, Covered: seeds})
+	}
+	return pts, nil
+}
+
+// sweepDelayScenario runs a declarative scenario's delay pass over the
+// same resolved grid (and therefore the same derived instances) as its
+// lambda sweep. Validate guarantees delay scenarios are unsharded.
+func sweepDelayScenario(o Options, sc *scenario.Scenario, sizes []int) ([]delayPoint, error) {
+	placement, err := sc.PlacementScheme()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", sc.Name, err)
+	}
+	return sweepDelay(o, sc.Name, sizes, sc.Base.Params(0), placement, sc.FaultConfig(), nil, sc.DelaySchemes(), sc.DelayQuantiles(), sc.AssocConfig())
+}
+
+// quantLabels renders quantile probabilities as report labels, e.g.
+// "[p50 p99]".
+func quantLabels(probs []float64) string {
+	parts := make([]string, len(probs))
+	for i, p := range probs {
+		parts[i] = fmt.Sprintf("p%g", p*100)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// formatDelayRows renders per-point per-scheme delay statistics as
+// fixed-format report rows: mean and requested quantiles of the total
+// delay, the six-stage component means, the unroutable-pair mean and
+// seed coverage.
+func formatDelayRows(schemes []string, probs []float64, pts []delayPoint) []string {
+	rows := make([]string, 0, len(pts)*len(schemes)+1)
+	rows = append(rows, fmt.Sprintf("delay schemes %v quantiles %s", schemes, quantLabels(probs)))
+	for _, pt := range pts {
+		mean := pt.Mean()
+		for i, name := range schemes {
+			st := mean[i]
+			var b strings.Builder
+			fmt.Fprintf(&b, "delay n=%6d %-13s mean=%.5g", pt.N, name, st.Mean)
+			for j, p := range probs {
+				fmt.Fprintf(&b, " p%g=%.5g", p*100, st.Quantile[j])
+			}
+			c := st.Components
+			fmt.Fprintf(&b, " src=%.4g mob=%.4g fwd=%.4g up=%.4g bb=%.4g down=%.4g unroutable=%.3g seeds-ok=%d/%d",
+				c.SrcQueue, c.MobilityWait, c.Forwarding, c.Uplink, c.Backbone, c.Downlink, st.Unroutable, pt.OK, pt.Covered)
+			rows = append(rows, b.String())
+		}
+	}
+	return rows
+}

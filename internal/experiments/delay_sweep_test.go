@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hybridcap/internal/scaling"
+	"hybridcap/internal/scenario"
+)
+
+func delayTestArgs() (sizes []int, base scaling.Params, schemes []string) {
+	return []int{256, 512},
+		scaling.Params{Alpha: 0.15, K: 0.8, Phi: 1, M: 1},
+		[]string{"schemeB", "twoHop"}
+}
+
+// Delay statistics must be byte-identical for every worker count: the
+// engine delivers cells in grid order and the aggregation folds in that
+// order, so scheduling cannot leak into the formatted rows.
+func TestDelaySweepWorkerInvariance(t *testing.T) {
+	sizes, base, schemes := delayTestArgs()
+	var rows []string
+	for _, workers := range []int{1, 3, 8} {
+		o := Options{Seeds: 3, Workers: workers}
+		pts, err := sweepDelay(o, "workerinv", sizes, base, 2, nil, nil, schemes, nil, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := formatDelayRows(schemes, []float64{0.5, 0.99}, pts)
+		if rows == nil {
+			rows = got
+			continue
+		}
+		if strings.Join(got, "\n") != strings.Join(rows, "\n") {
+			t.Errorf("workers=%d drifted from workers=1:\n%s\nvs\n%s",
+				workers, strings.Join(got, "\n"), strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// A 3-way sharded delay sweep merged in shard order must reproduce the
+// unsharded sweep byte for byte: shard blocks are contiguous in grid
+// order, and the aggregator keeps sums (not means), so merging is the
+// same additions in the same order.
+func TestDelaySweepShardMergeByteIdentical(t *testing.T) {
+	sizes, base, schemes := delayTestArgs()
+	o := Options{Seeds: 3, Workers: 4}
+	full, err := sweepDelay(o, "shardmerge", sizes, base, 2, nil, nil, schemes, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := make([]delayPoint, len(sizes))
+	for i, n := range sizes {
+		merged[i] = delayPoint{N: n}
+	}
+	const shards = 3
+	for s := 0; s < shards; s++ {
+		sp := &scenario.ShardSpec{Index: s, Count: shards}
+		part, err := sweepDelay(o, "shardmerge", sizes, base, 2, nil, sp, schemes, nil, nil)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		for _, pt := range part {
+			for i := range merged {
+				if merged[i].N != pt.N {
+					continue
+				}
+				if merged[i].Sum == nil {
+					merged[i].Sum = pt.Sum
+				} else {
+					for j := range pt.Sum {
+						if err := merged[i].Sum[j].Add(pt.Sum[j]); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				merged[i].OK += pt.OK
+				merged[i].Covered += pt.Covered
+			}
+		}
+	}
+
+	want := strings.Join(formatDelayRows(schemes, []float64{0.5, 0.99}, full), "\n")
+	got := strings.Join(formatDelayRows(schemes, []float64{0.5, 0.99}, merged), "\n")
+	if got != want {
+		t.Errorf("3-way shard merge drifted:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// The delay pass derives exactly the lambda sweep's cell seeds, so both
+// passes evaluate the same instances (and share the kernel cache). The
+// guarantee is structural — same derivation expressions — but pin the
+// seed values so a refactor cannot silently fork them.
+func TestDelaySweepSeedDerivationMatchesLambda(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name:    "seedcheck",
+		Base:    scenario.Exponents{Alpha: 0.15, K: 0.8, Phi: 1, M: 1},
+		Sizes:   []int{256},
+		Schemes: []string{"schemeB"},
+		Delay:   &scenario.DelaySpec{},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Seeds: 2, Workers: 2}
+	lam, err := sweepScenario(o, sc, []int{256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sweepDelayScenario(o, sc, []int{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lam.X) != 1 || len(pts) != 1 {
+		t.Fatalf("unexpected shapes: %d lambda points, %d delay points", len(lam.X), len(pts))
+	}
+	if pts[0].OK != lam.OK[0] {
+		t.Errorf("coverage diverged: delay %d, lambda %d", pts[0].OK, lam.OK[0])
+	}
+}

@@ -210,6 +210,7 @@ func All() []Entry {
 		{ID: "E12", Run: BSOutage},
 		{ID: "E13", Run: KernelInvariance},
 		{ID: "E14", Run: Resilience},
+		{ID: "E15", Run: DelayCapacity, Scenarios: []*scenario.Scenario{e15StrongScenario(), e15WeakScenario()}},
 	}
 	for i := range entries {
 		entries[i].Run = observed(entries[i].ID, entries[i].Run)

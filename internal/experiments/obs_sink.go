@@ -133,9 +133,14 @@ func faultsLine(sc *scenario.Scenario) string {
 	if fc == nil {
 		return ""
 	}
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"faults: seed=%d bs-outage=%.3g count=%d edge-outage=%.3g derating=%.3g erasure=%.3g",
 		fc.Seed, fc.BSOutageFraction, fc.BSOutageCount, fc.EdgeOutageFraction, fc.EdgeDerating, fc.WirelessErasure)
+	if fc.BSOutageStart > 0 {
+		// Appended conditionally: onset-less fault lines stay byte-exact.
+		line += fmt.Sprintf(" outage-start=%d", fc.BSOutageStart)
+	}
+	return line
 }
 
 // buildManifest assembles the run manifest for a scenario run: the
@@ -169,6 +174,7 @@ func buildManifest(rt *obs.Runtime, sc *scenario.Scenario, o Options, sizes []in
 		},
 		Phases: rt.Tallies(),
 	}
+	m.DelaySchemes = sc.DelaySchemes()
 	if sc.Shard != nil {
 		m.Shard = &obs.ShardInfo{Index: sc.Shard.Index, Count: sc.Shard.Count}
 	}

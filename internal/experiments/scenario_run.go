@@ -66,6 +66,13 @@ func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result
 	rt.Push("scenario " + sc.Name)
 	cacheBefore := mobility.ReadCacheStats()
 	series, err := sweepScenario(o, sc, sizes, rec)
+	var dpts []delayPoint
+	if err == nil && sc.Delay != nil {
+		// The delay pass re-derives the lambda sweep's exact cells, so it
+		// runs inside the same scenario span and cache-delta window.
+		// Validate guarantees delay scenarios are unsharded.
+		dpts, err = sweepDelayScenario(o, sc, sizes)
+	}
 	cacheAfter := mobility.ReadCacheStats()
 	rt.Pop()
 	if err != nil {
@@ -74,6 +81,9 @@ func RunScenario(ctx context.Context, sc *scenario.Scenario, o Options) (*Result
 	res, err := AssembleScenario(sc, sizes, seeds, series)
 	if err != nil {
 		return nil, err
+	}
+	if sc.Delay != nil {
+		res.Rows = append(res.Rows, formatDelayRows(sc.DelaySchemes(), sc.DelayQuantiles(), dpts)...)
 	}
 	if sc.Shard != nil {
 		lo, hi, cerr := shardGrid(sc, sizes, seeds).Coverage()

@@ -113,16 +113,16 @@ func TestExampleScenarioFiles(t *testing.T) {
 	}
 }
 
-// Every built-in scenario (Table-I rows, E3, E8) must validate and
-// survive the deterministic JSON round trip, so shipping them as
+// Every built-in scenario (Table-I rows, E3, E8, E15) must validate
+// and survive the deterministic JSON round trip, so shipping them as
 // example files cannot drift from the registry.
 func TestBuiltinScenariosValid(t *testing.T) {
 	var scs []*scenario.Scenario
 	for _, e := range All() {
 		scs = append(scs, e.Scenarios...)
 	}
-	if len(scs) != 7 {
-		t.Fatalf("expected 7 built-in scenarios (5 Table-I rows + E3 + E8), got %d", len(scs))
+	if len(scs) != 9 {
+		t.Fatalf("expected 9 built-in scenarios (5 Table-I rows + E3 + E8 + 2 E15), got %d", len(scs))
 	}
 	for _, sc := range scs {
 		if err := sc.Validate(); err != nil {

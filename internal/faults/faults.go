@@ -43,6 +43,13 @@ type Config struct {
 	// BSOutageCount fails an absolute number of base stations; it is
 	// used when BSOutageFraction is zero (and clamped to k).
 	BSOutageCount int
+	// BSOutageStart is the simulation slot the BS outage takes effect
+	// at; zero means the outage holds from the start. Only the
+	// packet-level simulator's association-dynamics path interprets the
+	// onset (it is what produces the re-association transient); the
+	// analytic layers evaluate the post-onset steady state and ignore
+	// it.
+	BSOutageStart int
 	// EdgeOutageFraction independently fails each wired backbone edge
 	// with this probability, in [0, 1).
 	EdgeOutageFraction float64
@@ -61,6 +68,9 @@ func (c Config) Validate() error {
 	}
 	if c.BSOutageCount < 0 {
 		return fmt.Errorf("faults: negative BS outage count %d", c.BSOutageCount)
+	}
+	if c.BSOutageStart < 0 {
+		return fmt.Errorf("faults: negative BS outage start slot %d", c.BSOutageStart)
 	}
 	if c.EdgeOutageFraction < 0 || c.EdgeOutageFraction >= 1 || math.IsNaN(c.EdgeOutageFraction) {
 		return fmt.Errorf("faults: edge outage fraction %g outside [0, 1)", c.EdgeOutageFraction)
@@ -107,6 +117,11 @@ func New(cfg Config) (*Plan, error) {
 
 // Config returns the plan's configuration.
 func (p *Plan) Config() Config { return p.cfg }
+
+// OutageStart returns the slot the BS outage takes effect at (zero:
+// from the start). The onset does not change which BSs eventually die —
+// BSAlive is onset-blind — only when the simulator applies the mask.
+func (p *Plan) OutageStart() int { return p.cfg.BSOutageStart }
 
 // uniform maps a derived source state to [0, 1).
 func uniform(s rng.Source) float64 {

@@ -87,6 +87,11 @@ type Manifest struct {
 	Workers int `json:"workers"`
 	// Faults describes the injected fault plan, empty when none.
 	Faults string `json:"faults,omitempty"`
+	// DelaySchemes lists the schemes the run accounted delay for, in
+	// evaluation order; empty when the scenario requested no delay
+	// accounting (the field is additive: pre-delay manifests are
+	// byte-identical).
+	DelaySchemes []string `json:"delay_schemes,omitempty"`
 	// GridCells is the total cell count of the full (sizes x seeds)
 	// grid, whether or not this run covered all of it.
 	GridCells int `json:"grid_cells,omitempty"`

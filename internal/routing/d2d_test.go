@@ -1,0 +1,161 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"hybridcap/internal/delay"
+)
+
+// Under full mobility every pair meets, so the direct-link baseline
+// routes all traffic with a positive rate.
+func TestD2DFullMobility(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(512, 0, -1, 0), 3)
+	ev, err := D2D{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Failures > 0 {
+		t.Errorf("%d unroutable pairs under full mobility", ev.Failures)
+	}
+	if ev.Lambda <= 0 {
+		t.Errorf("lambda = %g, want > 0", ev.Lambda)
+	}
+}
+
+// Restricted mobility puts distant pairs out of meeting reach: the
+// direct link fails exactly where two-hop relaying still works through
+// intermediate contacts — the reason relays exist.
+func TestD2DCollapsesUnderRestrictedMobility(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(512, 0.35, -1, 0), 3)
+	ev, err := D2D{}.Evaluate(nw, tr)
+	if err != nil {
+		// All pairs unroutable is an acceptable collapse too.
+		if !strings.Contains(err.Error(), "d2d") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if ev.Failures == 0 {
+		t.Errorf("no unroutable pairs at alpha=0.35; direct links should not reach across the domain")
+	}
+}
+
+// Determinism: two evaluations of the same instance agree exactly.
+func TestD2DDeterministic(t *testing.T) {
+	nw, tr := buildNet(t, uniformParams(512, 0, -1, 0), 9)
+	ev1, err := D2D{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := D2D{}.Evaluate(nw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Lambda != ev2.Lambda || ev1.Failures != ev2.Failures {
+		t.Errorf("d2d drifted: %+v vs %+v", ev1, ev2)
+	}
+}
+
+// Every registered name must resolve through ByName, carry a
+// description, and resolve a delay model; unknown names must not.
+func TestRegistryComplete(t *testing.T) {
+	p := uniformParams(512, 0.25, 0.5, 0)
+	for _, name := range Names() {
+		s, err := ByName(name, p)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		// Scheme.Name() is a display name and may differ from the
+		// registry key (e.g. twoHop -> twoHopRelay); it just must be set.
+		if s.Name() == "" {
+			t.Errorf("ByName(%s).Name() is empty", name)
+		}
+		if Description(name) == "" {
+			t.Errorf("Description(%s) is empty", name)
+		}
+		m, err := DelayModelByName(name, p, nil)
+		if err != nil {
+			t.Errorf("DelayModelByName(%s): %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("DelayModelByName(%s).Name() = %s", name, m.Name())
+		}
+	}
+	if _, err := ByName("schemeZ", p); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := DelayModelByName("schemeZ", p, nil); err == nil {
+		t.Error("unknown delay model accepted")
+	}
+	if Description("schemeZ") != "" {
+		t.Error("unknown scheme has a description")
+	}
+}
+
+// Every delay model streams one breakdown per routable pair with a
+// non-negative total, and routable+unroutable covers all pairs.
+func TestDelayModelsCoverAllPairs(t *testing.T) {
+	p := uniformParams(512, 0.15, 0.6, 0)
+	nw, tr := buildNetPlaced(t, p, 11, 2)
+	for _, name := range Names() {
+		m, err := DelayModelByName(name, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		count := 0
+		neg := false
+		unrte, err := m.EvaluateDelay(nw, tr, func(b delay.Breakdown) {
+			count++
+			if b.Total() < 0 {
+				neg = true
+			}
+		})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if neg {
+			t.Errorf("%s: negative delay breakdown", name)
+		}
+		if count+unrte != tr.Len() {
+			t.Errorf("%s: %d observed + %d unroutable != %d pairs", name, count, unrte, tr.Len())
+		}
+	}
+}
+
+// The infrastructure delay models are distance independent while the
+// direct-link baseline is not: d2d's delay spread across pairs must
+// exceed scheme C's (which is identical for every pair).
+func TestInfrastructureDelayDistanceIndependent(t *testing.T) {
+	p := uniformParams(512, 0.1, 0.6, 0)
+	nw, tr := buildNetPlaced(t, p, 13, 2)
+	spread := func(name string) float64 {
+		m, err := DelayModelByName(name, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		min, max := -1.0, -1.0
+		_, err = m.EvaluateDelay(nw, tr, func(b delay.Breakdown) {
+			tot := b.Total()
+			if min < 0 || tot < min {
+				min = tot
+			}
+			if tot > max {
+				max = tot
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return max - min
+	}
+	if s := spread("schemeC"); s != 0 {
+		t.Errorf("schemeC delay spread = %g, want 0 (distance independent)", s)
+	}
+	if s := spread("d2d"); s <= 0 {
+		t.Errorf("d2d delay spread = %g, want > 0 (distance dependent)", s)
+	}
+}

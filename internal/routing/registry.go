@@ -17,13 +17,38 @@ const (
 	NameSchemeC        = "schemeC"
 	NameGridMultihop   = "gridMultihop"
 	NameTwoHop         = "twoHop"
+	NameD2D            = "d2d"
 )
 
 // Names lists every scheme name ByName accepts.
 func Names() []string {
 	return []string{
 		NameSchemeA, NameSchemeB, NameSchemeBCluster,
-		NameSchemeC, NameGridMultihop, NameTwoHop,
+		NameSchemeC, NameGridMultihop, NameTwoHop, NameD2D,
+	}
+}
+
+// Description returns a one-line description of a registered scheme,
+// for `capsim -list-schemes` and the server's scheme listing. Unknown
+// names return the empty string.
+func Description(name string) string {
+	switch name {
+	case NameSchemeA:
+		return "squarelet multihop over mobile relays (Theta(f) hops, strong-mobility ad hoc mode)"
+	case NameSchemeB:
+		return "infrastructure 3-phase transport: uplink, wired backbone, downlink (squarelet grouping)"
+	case NameSchemeBCluster:
+		return "scheme B with cluster grouping (non-uniformly dense regimes)"
+	case NameSchemeC:
+		return "hexagonal single-cell infrastructure transport (trivial-mobility regime)"
+	case NameGridMultihop:
+		return "static multihop over a TDMA cell tessellation (Gupta-Kumar style baseline)"
+	case NameTwoHop:
+		return "Grossglauser-Tse two-hop relaying (Theta(1) throughput, Theta(n)-class delay)"
+	case NameD2D:
+		return "direct-link baseline: one hop source->destination, no relays, no infrastructure"
+	default:
+		return ""
 	}
 }
 
@@ -55,6 +80,8 @@ func ByName(name string, p scaling.Params) (Scheme, error) {
 		return GridMultihop{Side: math.Sqrt(p.Gamma()), Delta: -1}, nil
 	case NameTwoHop:
 		return TwoHopRelay{}, nil
+	case NameD2D:
+		return D2D{}, nil
 	default:
 		return nil, fmt.Errorf("routing: unknown scheme %q (want one of %v)", name, Names())
 	}

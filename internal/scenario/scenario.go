@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"hybridcap/internal/delay"
 	"hybridcap/internal/faults"
 	"hybridcap/internal/network"
 	"hybridcap/internal/routing"
@@ -55,6 +56,7 @@ type FaultSpec struct {
 	Seed            uint64  `json:"seed,omitempty"`
 	BSOutage        float64 `json:"bs_outage,omitempty"`
 	BSOutageCount   int     `json:"bs_outage_count,omitempty"`
+	BSOutageStart   int     `json:"bs_outage_start,omitempty"`
 	EdgeOutage      float64 `json:"edge_outage,omitempty"`
 	EdgeDerating    float64 `json:"edge_derating,omitempty"`
 	WirelessErasure float64 `json:"erasure,omitempty"`
@@ -66,6 +68,7 @@ func (f FaultSpec) Config() faults.Config {
 		Seed:               f.Seed,
 		BSOutageFraction:   f.BSOutage,
 		BSOutageCount:      f.BSOutageCount,
+		BSOutageStart:      f.BSOutageStart,
 		EdgeOutageFraction: f.EdgeOutage,
 		EdgeDerating:       f.EdgeDerating,
 		WirelessErasure:    f.WirelessErasure,
@@ -84,6 +87,58 @@ var (
 	// count (some shards would own no cells).
 	ErrShardCells = errors.New("shard count exceeds grid cells")
 )
+
+// Delay/association validation sentinels, surfaced by Validate so
+// callers can classify malformed measurement requests without string
+// matching.
+var (
+	// ErrDelayQuantile marks a requested delay quantile outside (0, 1).
+	ErrDelayQuantile = errors.New("delay quantile outside (0, 1)")
+	// ErrDelayScheme marks a delay scheme that is not in the scenario's
+	// scheme set (delay rides the same evaluations as throughput).
+	ErrDelayScheme = errors.New("delay scheme not in the scenario's scheme set")
+	// ErrDelayShard marks a delay request on a sharded scenario: delay
+	// statistics assemble at presentation time and are not part of the
+	// cells artifact shard merges consume.
+	ErrDelayShard = errors.New("delay accounting does not support sharded runs")
+	// ErrAssocField marks an out-of-range association-dynamics knob.
+	ErrAssocField = errors.New("invalid association field")
+)
+
+// DelaySpec requests per-scheme delay accounting for the sweep: every
+// named scheme's analytic delay model runs over the same instances the
+// lambda sweep evaluates, and the report gains per-point mean and
+// quantile delay rows.
+type DelaySpec struct {
+	// Schemes names the schemes to account delay for; empty selects the
+	// scenario's full scheme set. Every name must appear in Schemes —
+	// delay is a second measurement of the declared schemes, not a way
+	// to smuggle extra ones in.
+	Schemes []string `json:"schemes,omitempty"`
+	// Quantiles lists the total-delay quantiles to estimate, each
+	// strictly in (0, 1); empty selects delay.DefaultQuantiles
+	// (P50/P99).
+	Quantiles []float64 `json:"quantiles,omitempty"`
+}
+
+// AssocSpec mirrors delay.AssocConfig with stable JSON names: the BS
+// association-dynamics knobs (handover margin, hysteresis,
+// time-to-trigger) that turn a fault-plan outage into a realistic
+// re-association delay spike instead of an instant re-home.
+type AssocSpec struct {
+	HandoverMargin float64 `json:"handover_margin,omitempty"`
+	Hysteresis     float64 `json:"hysteresis,omitempty"`
+	TimeToTrigger  int     `json:"time_to_trigger,omitempty"`
+}
+
+// Config converts the spec to a delay.AssocConfig.
+func (a AssocSpec) Config() delay.AssocConfig {
+	return delay.AssocConfig{
+		HandoverMargin: a.HandoverMargin,
+		Hysteresis:     a.Hysteresis,
+		TimeToTrigger:  a.TimeToTrigger,
+	}
+}
 
 // ShardSpec selects one contiguous block of the sweep's (size, seed)
 // grid: shard Index of Count owns the global cells
@@ -150,6 +205,14 @@ type Scenario struct {
 	// Faults optionally injects a deterministic fault plan into every
 	// instance of the sweep.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Delay optionally requests per-scheme delay accounting alongside
+	// the lambda sweep.
+	Delay *DelaySpec `json:"delay,omitempty"`
+	// Assoc optionally enables BS association dynamics: the packet
+	// simulator replaces instant re-homing with margin/hysteresis/TTT
+	// handovers, and the analytic infrastructure delay models charge the
+	// matching re-association penalty under an outage.
+	Assoc *AssocSpec `json:"association,omitempty"`
 	// Fit requests a power-law fit of the measured lambda series, for
 	// comparison against the regime's theoretical capacity order.
 	Fit bool `json:"fit,omitempty"`
@@ -181,6 +244,37 @@ func (s *Scenario) FaultConfig() *faults.Config {
 		return nil
 	}
 	cfg := s.Faults.Config()
+	return &cfg
+}
+
+// DelaySchemes resolves the delay-accounting scheme set: the explicit
+// request, or the scenario's full scheme set. Nil when no delay
+// accounting is requested.
+func (s *Scenario) DelaySchemes() []string {
+	if s.Delay == nil {
+		return nil
+	}
+	if len(s.Delay.Schemes) > 0 {
+		return s.Delay.Schemes
+	}
+	return s.Schemes
+}
+
+// DelayQuantiles resolves the requested delay quantiles, defaulting to
+// delay.DefaultQuantiles.
+func (s *Scenario) DelayQuantiles() []float64 {
+	if s.Delay != nil && len(s.Delay.Quantiles) > 0 {
+		return s.Delay.Quantiles
+	}
+	return delay.DefaultQuantiles
+}
+
+// AssocConfig returns the declared association-dynamics config, or nil.
+func (s *Scenario) AssocConfig() *delay.AssocConfig {
+	if s.Assoc == nil {
+		return nil
+	}
+	cfg := s.Assoc.Config()
 	return &cfg
 }
 
@@ -219,6 +313,33 @@ func (s *Scenario) Validate() error {
 	if s.Faults != nil {
 		if err := s.Faults.Config().Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.Delay != nil {
+		for _, name := range s.Delay.Schemes {
+			found := false
+			for _, have := range s.Schemes {
+				if have == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("scenario %s: delay scheme %q: %w", s.Name, name, ErrDelayScheme)
+			}
+		}
+		for _, q := range s.Delay.Quantiles {
+			if !(q > 0 && q < 1) {
+				return fmt.Errorf("scenario %s: quantile %v: %w", s.Name, q, ErrDelayQuantile)
+			}
+		}
+		if s.Shard != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, ErrDelayShard)
+		}
+	}
+	if s.Assoc != nil {
+		if err := s.Assoc.Config().Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w: %w", s.Name, ErrAssocField, err)
 		}
 	}
 	for _, n := range append(append([]int(nil), s.Sizes...), s.QuickSizes...) {
@@ -309,6 +430,14 @@ type cellScope struct {
 	Schemes   []string   `json:"schemes"`
 	Placement string     `json:"placement,omitempty"`
 	Faults    *FaultSpec `json:"faults,omitempty"`
+	// Delay and Assoc are projected conservatively: the cached lambda
+	// value itself does not depend on them, but the sweep's published
+	// cell stream does (delay cells interleave with lambda cells), so
+	// toggling delay accounting invalidates rather than risking a
+	// stale-scope replay. Both are omitempty: scenarios without the new
+	// fields keep their existing byte-identical scopes.
+	Delay *DelaySpec `json:"delay,omitempty"`
+	Assoc *AssocSpec `json:"association,omitempty"`
 }
 
 // gridOnlyFields declares the Scenario fields that only shape the
@@ -339,6 +468,8 @@ func (s *Scenario) CellScope(n int) ([]byte, error) {
 		Schemes:   s.Schemes,
 		Placement: s.Placement,
 		Faults:    s.Faults,
+		Delay:     s.Delay,
+		Assoc:     s.Assoc,
 	}, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("scenario: cell scope: %w", err)

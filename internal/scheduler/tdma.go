@@ -95,6 +95,14 @@ func (s *CellSchedule) DutyCycle() float64 {
 	return 1 / float64(s.NumGroups)
 }
 
+// FrameLength returns the TDMA frame length in slots: one slot per
+// reuse group. A head-of-line packet waits at most one frame for its
+// cell's next activation, which is the per-hop scheduling delay the
+// TDMA-based delay models charge.
+func (s *CellSchedule) FrameLength() int {
+	return s.NumGroups
+}
+
 // Validate checks the coloring is proper for the given separation.
 func (s *CellSchedule) Validate(centers []geom.Point, minSep float64) error {
 	if len(centers) != len(s.GroupOf) {

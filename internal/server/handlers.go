@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"hybridcap/internal/obs"
+	"hybridcap/internal/routing"
 	"hybridcap/internal/scenario"
 )
 
@@ -33,6 +34,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /runs/{id}/manifest", s.handleArtifact("manifest"))
 	mux.HandleFunc("GET /runs/{id}/scenario", s.handleArtifact("scenario"))
 	mux.HandleFunc("GET /runs/{id}/cells", s.handleArtifact("cells"))
+	mux.HandleFunc("GET /schemes", s.handleSchemes)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 
@@ -100,6 +102,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfterSeconds))
 	}
 	writeJSON(w, code, st)
+}
+
+// schemeInfo is one row of GET /schemes.
+type schemeInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// handleSchemes is GET /schemes: the routing scheme registry in
+// presentation order, so clients can discover valid scenario scheme
+// sets without a round trip through a rejected submission.
+func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	names := routing.Names()
+	list := make([]schemeInfo, len(names))
+	for i, name := range names {
+		list[i] = schemeInfo{Name: name, Description: routing.Description(name)}
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 // handleList is GET /runs: every known run's status, sorted by id for a

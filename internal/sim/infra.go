@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"hybridcap/internal/delay"
 	"hybridcap/internal/geom"
 	"hybridcap/internal/network"
 	"hybridcap/internal/rng"
@@ -45,6 +46,18 @@ type InfraConfig struct {
 	// doubling on each retry (bounded exponential backoff); zero
 	// selects 64.
 	RetryBackoff int
+	// Assoc, if set, replaces instant re-homing with BS association
+	// dynamics: every MS tracks a serving BS and hands over only when a
+	// candidate BS has beaten the serving one by the handover margin
+	// plus hysteresis for TimeToTrigger consecutive slots (a dead
+	// serving BS skips the margin test but still waits out the
+	// trigger). Handovers transfer the MS's waiting downlink packets
+	// over the backbone and are counted in the report's churn fields.
+	// Under an association model the fault plan's BSOutageStart is
+	// honored: the outage mask applies only from that slot on, so an
+	// onset mid-run produces a re-association delay spike. Nil keeps
+	// the legacy instant re-homing path bit-for-bit.
+	Assoc *delay.AssocConfig
 }
 
 // InfraReport summarizes an infrastructure packet run.
@@ -60,14 +73,29 @@ type InfraReport struct {
 	// Erasures counts measured transmission opportunities lost to the
 	// fault plan's per-slot wireless erasures.
 	Erasures int
+	// Handovers counts serving-BS changes executed by the association
+	// model during measured slots (zero without InfraConfig.Assoc).
+	Handovers int
+	// Transferred counts measured downlink packets moved to another BS
+	// over the backbone by association churn (handovers and dead-BS
+	// queue flushes).
+	Transferred int
+	// MeanUplinkWait, MeanBackboneWait and MeanDownlinkWait decompose
+	// MeanDelay per delivered packet: source queueing until uplink, one
+	// slot per backbone transit (re-homes and transfers included), and
+	// the wait in downlink queues (re-association stalls included).
+	MeanUplinkWait   float64
+	MeanBackboneWait float64
+	MeanDownlinkWait float64
 }
 
 type infraPacket struct {
 	dst     int32
 	born    int32
+	up      int32 // slot the packet was absorbed into the uplink
 	bs      int32 // BS whose downlink queue the packet targets
 	moved   int32 // slot the packet arrived at its current queue
-	retries int16
+	retries int16 // backbone transits beyond the first (re-homes, transfers)
 }
 
 // RunInfrastructure simulates scheme-B-style transport at packet level.
@@ -105,11 +133,26 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 		uplinks = 1
 	}
 	plan := nw.Faults()
+	dyn := cfg.Assoc != nil
+	if dyn {
+		if err := cfg.Assoc.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	// Outage onset: under association dynamics the fault plan's BS mask
+	// applies only from BSOutageStart on (zero: from the start). The
+	// legacy path ignores the onset — it has no association state to
+	// produce the transient with.
+	onset := 0
+	if dyn && plan != nil {
+		onset = plan.OutageStart()
+	}
 	maxRetries := cfg.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = 2
 	}
-	if maxRetries < 0 || plan == nil {
+	if maxRetries < 0 || plan == nil || dyn {
+		// Association dynamics replace backoff re-homing.
 		maxRetries = 0
 	}
 	backoff := cfg.RetryBackoff
@@ -126,6 +169,36 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	for i, h := range homes {
 		j, _ := bsIx.Nearest(h, nil)
 		homeBS[i] = int32(liveIDs[j])
+	}
+	// Association-dynamics state: the serving BS per MS, the
+	// time-to-trigger clock, and the alive-at-slot view that applies the
+	// outage mask only from the onset on.
+	var (
+		serving []int32
+		tttHeld []int32
+		allIx   *spatial.Index
+	)
+	liveNow := func(slot, b int) bool {
+		if slot < onset {
+			return true
+		}
+		return nw.BSIsLive(b)
+	}
+	nearestNow := func(pt geom.Point, slot int) int32 {
+		if slot < onset {
+			j, _ := allIx.Nearest(pt, nil)
+			return int32(j)
+		}
+		j, _ := bsIx.Nearest(pt, nil)
+		return int32(liveIDs[j])
+	}
+	if dyn {
+		allIx = spatial.New(nw.BSPos, rt)
+		serving = make([]int32, n)
+		tttHeld = make([]int32, n)
+		for i, h := range homes {
+			serving[i] = nearestNow(h, 0)
+		}
 	}
 	// bsOrder lazily ranks the live BSs by distance from a destination's
 	// home-point; entry r is the packet's target after r re-homes.
@@ -152,7 +225,20 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	transitQ = append(transitQ, nil)
 
 	rep := &InfraReport{}
-	var delaySum, hopSum float64
+	var delaySum, hopSum, srcSum, downSum float64
+	// account records one delivery's delay decomposition: total since
+	// birth, source queueing until uplink, one slot per backbone
+	// transit, and the remainder as downlink wait.
+	account := func(p infraPacket, slot int) {
+		rep.Delivered++
+		total := float64(slot - int(p.born))
+		delaySum += total
+		hops := float64(1 + int(p.retries))
+		hopSum += hops
+		srcW := float64(int(p.up) - int(p.born))
+		srcSum += srcW
+		downSum += total - srcW - hops
+	}
 	expired := func(p infraPacket, slot int, measuring bool) bool {
 		if cfg.TTL <= 0 || slot-int(p.born) <= cfg.TTL {
 			return false
@@ -186,17 +272,31 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 			p := srcQ[i][0]
 			srcQ[i] = srcQ[i][1:]
 			if !expired(p, upSlot, upMeasuring) {
+				p.up = int32(upSlot)
 				transitQ[0] = append(transitQ[0], p)
 			}
 			upBudget--
 		}
 		return upBudget > 0
 	}
+	// Association-dynamics knobs, hoisted out of the slot loop.
+	var (
+		assocMargin float64
+		assocTTT    int32
+	)
+	if dyn {
+		assocMargin = cfg.Assoc.HandoverMargin + cfg.Assoc.Hysteresis
+		assocTTT = int32(cfg.Assoc.TimeToTrigger)
+	}
 	for slot := 0; slot < cfg.Warmup+cfg.Slots; slot++ {
 		measuring := slot >= cfg.Warmup
 		for i := 0; i < n; i++ {
 			if injRand.Float64() < cfg.Lambda {
-				srcQ[i] = append(srcQ[i], infraPacket{dst: int32(tr.DestOf[i]), born: int32(slot), bs: homeBS[tr.DestOf[i]]})
+				target := homeBS[tr.DestOf[i]]
+				if dyn {
+					target = serving[tr.DestOf[i]]
+				}
+				srcQ[i] = append(srcQ[i], infraPacket{dst: int32(tr.DestOf[i]), born: int32(slot), bs: target})
 				if measuring {
 					rep.Injected++
 				}
@@ -218,6 +318,58 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 		}
 		transitQ[0] = arriving[:0]
 
+		// Association dynamics: each MS compares the nearest
+		// alive-at-slot BS against its serving BS; the candidate must
+		// beat it by the margin (plus hysteresis) for TimeToTrigger
+		// consecutive slots before the handover executes — a dead serving
+		// BS skips the margin test but still waits out the trigger. The
+		// handover transfers the MS's waiting downlink packets to the new
+		// BS over the backbone (arriving next slot).
+		if dyn {
+			for i := 0; i < n; i++ {
+				cand := nearestNow(pos[i], slot)
+				if cand == serving[i] {
+					tttHeld[i] = 0
+					continue
+				}
+				trigger := !liveNow(slot, int(serving[i]))
+				if !trigger {
+					dc := geom.Dist(pos[i], nw.BSPos[cand])
+					ds := geom.Dist(pos[i], nw.BSPos[serving[i]])
+					trigger = dc+assocMargin <= ds
+				}
+				if !trigger {
+					tttHeld[i] = 0
+					continue
+				}
+				tttHeld[i]++
+				if tttHeld[i] <= assocTTT {
+					continue
+				}
+				old := serving[i]
+				serving[i] = cand
+				tttHeld[i] = 0
+				if measuring {
+					rep.Handovers++
+				}
+				q := downQ[old]
+				rest := q[:0]
+				for _, p := range q {
+					if int(p.dst) != i {
+						rest = append(rest, p)
+						continue
+					}
+					p.retries++
+					p.bs = cand
+					if measuring {
+						rep.Transferred++
+					}
+					transitQ[0] = append(transitQ[0], p)
+				}
+				downQ[old] = rest
+			}
+		}
+
 		// Uplink: each live BS absorbs up to uplinks packets from MSs in
 		// range (TDMA within the cell, one transmission at a time). An
 		// erased MS loses its opportunity for the slot.
@@ -227,15 +379,79 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 			msIx.Rebuild(pos)
 		}
 		upSlot, upMeasuring = slot, measuring
-		for _, b := range liveIDs {
-			upBudget = uplinks
-			msIx.ForEachWithin(nw.BSPos[b], rt, absorb)
+		if dyn {
+			for b := 0; b < nw.NumBS(); b++ {
+				if !liveNow(slot, b) {
+					continue
+				}
+				upBudget = uplinks
+				msIx.ForEachWithin(nw.BSPos[b], rt, absorb)
+			}
+		} else {
+			for _, b := range liveIDs {
+				upBudget = uplinks
+				msIx.ForEachWithin(nw.BSPos[b], rt, absorb)
+			}
 		}
 
 		// Downlink: each live BS delivers up to uplinks packets to
 		// destinations currently in range. A waiting packet whose backoff
 		// ran out re-homes to the next-nearest live BS over the backbone.
 		// Survivors are compacted in place, reusing the queue's backing.
+		// Under association dynamics a dead BS cannot transmit; packets
+		// stranded there flush to the destination's current serving BS
+		// over the backbone once the handover has gone through.
+		if dyn {
+			for b := 0; b < nw.NumBS(); b++ {
+				q := downQ[b]
+				if len(q) == 0 {
+					continue
+				}
+				rest := q[:0]
+				if !liveNow(slot, b) {
+					for _, p := range q {
+						if expired(p, slot, measuring) {
+							continue
+						}
+						if tgt := serving[p.dst]; tgt != int32(b) {
+							p.retries++
+							p.bs = tgt
+							if measuring {
+								rep.Transferred++
+							}
+							transitQ[0] = append(transitQ[0], p)
+							continue
+						}
+						rest = append(rest, p)
+					}
+					downQ[b] = rest
+					continue
+				}
+				budget := uplinks
+				for _, p := range q {
+					if expired(p, slot, measuring) {
+						continue
+					}
+					if budget > 0 && geom.Dist(pos[p.dst], nw.BSPos[b]) <= rt {
+						if plan != nil && plan.Erased(slot, int(p.dst)) {
+							if measuring {
+								rep.Erasures++
+							}
+							rest = append(rest, p)
+							continue
+						}
+						budget--
+						if measuring {
+							account(p, slot)
+						}
+						continue
+					}
+					rest = append(rest, p)
+				}
+				downQ[b] = rest
+			}
+			continue
+		}
 		for _, b := range liveIDs {
 			budget := uplinks
 			q := downQ[b]
@@ -254,9 +470,7 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 					}
 					budget--
 					if measuring {
-						rep.Delivered++
-						delaySum += float64(slot - int(p.born))
-						hopSum += float64(1 + int(p.retries))
+						account(p, slot)
 					}
 					continue
 				}
@@ -281,6 +495,9 @@ func RunInfrastructure(nw *network.Network, tr *traffic.Pattern, cfg InfraConfig
 	if rep.Delivered > 0 {
 		rep.MeanDelay = delaySum / float64(rep.Delivered)
 		rep.MeanBackboneHops = hopSum / float64(rep.Delivered)
+		rep.MeanUplinkWait = srcSum / float64(rep.Delivered)
+		rep.MeanBackboneWait = rep.MeanBackboneHops // one slot per wired transit
+		rep.MeanDownlinkWait = downSum / float64(rep.Delivered)
 	}
 	rep.DeliveredRate = float64(rep.Delivered) / float64(n) / float64(cfg.Slots)
 	backlog := 0
